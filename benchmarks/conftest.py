@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  Since the substrate is a simulator,
+absolute numbers differ from the paper's testbed; each module's docstring
+states the *shape* the paper reports and the assertions check that shape.
+
+Reports are printed and also saved under ``benchmarks/results/`` so they
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.generators import dataset_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: scale factor for the analog dataset suite used by the heavyweight
+#: benchmarks; override with REPRO_BENCH_SCALE.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The 11-dataset analog suite at benchmark scale."""
+    return dataset_suite(scale=BENCH_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def suite_by_paper_name(suite):
+    return {d.paper_name: d for d in suite}
+
+
+def report(name: str, lines: list[str]) -> None:
+    """Print a report block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def fmt_row(cols, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))

@@ -1,0 +1,146 @@
+"""Ablations — the design choices DESIGN.md calls out.
+
+Three ablations over the PLDS's configuration space:
+
+1. **Group shrink (PLDS → PLDSOpt).** Section 6.1: dividing the levels
+   per group by 50 sped the paper's implementation up by up to 23.89x.
+   We sweep ``group_shrink ∈ {1, 10, 50, 200}`` and check the work drops
+   monotonically while the approximation guarantee of the ``shrink=1``
+   configuration is preserved and the empirical error stays bounded.
+
+2. **Insertion strategy.** Section 6.1's other optimization: computing
+   the upward desire-level directly ("jump") instead of moving level by
+   level.  The paper notes it does *more work theoretically* but runs
+   faster in practice; we check it's at least work-comparable and
+   produces identical guarantees.
+
+3. **Structure variants** (Section 5.8).  All three variants compute the
+   same result with the same work; depth obeys randomized <
+   deterministic < space-efficient, and the space-efficient variant uses
+   O(n + m) instead of O(n log² n + m) bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.invariants import approximation_violations
+from repro.core.plds import PLDS
+from repro.graphs.streams import Batch
+from repro.static_kcore.exact import exact_coreness
+
+from .conftest import fmt_row, report
+
+
+def _drive(plds: PLDS, edges, batch=200, seed=1):
+    order = list(edges)
+    random.Random(seed).shuffle(order)
+    for i in range(0, len(order), batch):
+        plds.update(Batch(insertions=order[i : i + batch]))
+    for i in range(0, len(order) // 2, batch):
+        plds.update(Batch(deletions=order[i : i + batch]))
+    assert not plds.check_invariants()
+    return order[len(order) // 2 :]
+
+
+def test_ablation_group_shrink(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["livejournal"]
+    shrinks = (1, 10, 50, 200)
+
+    def run():
+        rows = []
+        for shrink in shrinks:
+            plds = PLDS(n_hint=spec.num_vertices + 1, group_shrink=shrink)
+            remaining = _drive(plds, spec.edges)
+            exact = exact_coreness(remaining)
+            worst = 1.0
+            for v, k in exact.items():
+                if k == 0:
+                    continue
+                est = plds.coreness_estimate(v)
+                worst = max(worst, max(est / k, k / est) if est else 99.0)
+            rows.append((shrink, plds.num_levels, plds.tracker.work, worst))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (8, 8, 12, 9)
+    lines = [fmt_row(("shrink", "levels", "work", "max err"), widths)]
+    for shrink, K, w, e in rows:
+        lines.append(fmt_row((shrink, K, w, f"{e:.2f}"), widths))
+    report("ablation_group_shrink", lines)
+
+    works = [w for _, _, w, _ in rows]
+    assert all(works[i] > works[i + 1] for i in range(len(works) - 1)), works
+    # The paper reports up to ~24x from this optimization; demand >= 5x.
+    assert works[0] / works[-2] > 5.0  # shrink=1 vs shrink=50
+    # Errors stay bounded: provable for shrink=1, empirical for the rest.
+    assert rows[0][3] <= 4.2 + 1e-9
+    for _, _, _, e in rows:
+        assert e <= 10.0
+
+
+def test_ablation_insertion_strategy(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["orkut"]
+
+    def run():
+        rows = []
+        for strategy in ("levelwise", "jump"):
+            plds = PLDS(
+                n_hint=spec.num_vertices + 1, insertion_strategy=strategy
+            )
+            remaining = _drive(plds, spec.edges)
+            exact = exact_coreness(remaining)
+            bad = approximation_violations(
+                plds.coreness_estimates(), exact, plds.approximation_factor()
+            )
+            assert not bad, (strategy, bad[:3])
+            rows.append((strategy, plds.tracker.work, plds.tracker.depth))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (11, 12, 12)
+    lines = [fmt_row(("strategy", "work", "depth"), widths)]
+    for s, w, d in rows:
+        lines.append(fmt_row((s, w, d), widths))
+    report("ablation_insertion_strategy", lines)
+
+    # Jump must stay work-comparable (paper: may even do more in theory).
+    by = dict((s, w) for s, w, _ in rows)
+    assert by["jump"] <= 2.0 * by["levelwise"]
+    assert by["levelwise"] <= 2.0 * by["jump"]
+
+
+def test_ablation_structure_variants(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["dblp"]
+
+    def run():
+        rows = []
+        for structure in ("randomized", "deterministic", "space_efficient"):
+            plds = PLDS(n_hint=spec.num_vertices + 1, structure=structure)
+            _drive(plds, spec.edges)
+            rows.append(
+                (
+                    structure,
+                    plds.tracker.work,
+                    plds.tracker.depth,
+                    plds.space_bytes(),
+                    plds.coreness_estimates(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (16, 10, 10, 10)
+    lines = [fmt_row(("structure", "work", "depth", "space"), widths)]
+    for s, w, d, sp, _ in rows:
+        lines.append(fmt_row((s, w, d, sp), widths))
+    report("ablation_structures", lines)
+
+    rand, det, se = rows
+    # Identical results and work; only the cost/space models differ.
+    assert rand[4] == det[4] == se[4]
+    assert rand[1] == det[1] == se[1]
+    # Depth ordering per Lemmas 5.7 / 5.14 / 5.15.
+    assert rand[2] <= det[2] <= se[2]
+    # Space-efficient variant saves space.
+    assert se[3] < rand[3]

@@ -1,0 +1,116 @@
+"""Adversarial workloads — the Section-3 motivation, measured.
+
+The paper motivates approximation with the cycle example: toggling one
+edge of an n-cycle changes all n exact coreness values, so *any* exact
+algorithm pays Ω(n) per toggle, while the PLDS pays O(log² n) amortized
+(the estimates simply never need to change: both 1 and 2 round to the
+same group).
+
+We sweep the cycle length and measure per-toggle work for PLDS vs the
+exact baselines — the PLDS cost must stay flat while the exact cost
+grows linearly.  The Figure-4 cascade chain contrasts the sequential LDS
+(one-level-at-a-time cascades) with the PLDS (single-shot desire-level
+moves).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.zhang import ZhangExactDynamic
+from repro.core.lds import LDS
+from repro.core.plds import PLDS
+from repro.graphs.adversarial import clique_pulse, cycle_toggle
+
+from .conftest import fmt_row, report
+
+CYCLE_SIZES = (64, 256, 1024)
+TOGGLES = 4
+
+
+def _per_batch_work(impl, initial, batches, is_plds):
+    if is_plds:
+        impl.insert_edges(initial)
+    else:
+        impl.initialize(initial)
+    base = impl.tracker.work
+    for b in batches:
+        impl.update(b)
+    return (impl.tracker.work - base) / len(batches)
+
+
+def test_cycle_toggle_scaling(benchmark):
+    def run():
+        rows = []
+        for n in CYCLE_SIZES:
+            initial, batches = cycle_toggle(n, TOGGLES)
+            plds_w = _per_batch_work(
+                PLDS(n_hint=n + 1), initial, batches, True
+            )
+            zhang_w = _per_batch_work(
+                ZhangExactDynamic(), initial, batches, False
+            )
+            rows.append((n, plds_w, zhang_w))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (8, 12, 12)
+    lines = [fmt_row(("n", "plds W/tog", "zhang W/tog"), widths)]
+    for n, pw, zw in rows:
+        lines.append(fmt_row((n, f"{pw:.1f}", f"{zw:.0f}"), widths))
+    report("adversarial_cycle", lines)
+
+    # PLDS per-toggle work is flat in n; exact work grows ~linearly.
+    assert rows[-1][1] <= 10 * max(rows[0][1], 1.0)
+    assert rows[-1][2] >= 4 * rows[0][2]
+    # And exact pays Omega(n) per toggle on the largest cycle.
+    assert rows[-1][2] >= CYCLE_SIZES[-1]
+
+
+def test_clique_pulse_plds_vs_lds(benchmark):
+    """Clique pulses force maximal level movement (the Fig.-4 regime).
+
+    The PLDS and LDS pay comparable *work* (the PLDS's batch machinery
+    costs a constant factor), but the PLDS's per-batch *depth* stays
+    polylog while the sequential LDS's depth equals its work — the whole
+    reason the PLDS exists.
+    """
+
+    def run():
+        rows = []
+        for k in (8, 16, 24):
+            initial, batches = clique_pulse(k, TOGGLES)
+            costs = {}
+            for name, impl in (
+                ("plds", PLDS(n_hint=k + 2)),
+                ("lds", LDS(n_hint=k + 2)),
+            ):
+                impl.insert_edges(initial)
+                base = impl.tracker.cost
+                for b in batches:
+                    impl.update(b)
+                costs[name] = (
+                    (impl.tracker.work - base.work) / len(batches),
+                    (impl.tracker.depth - base.depth) / len(batches),
+                )
+            rows.append((k, *costs["plds"], *costs["lds"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (6, 11, 11, 11, 11)
+    lines = [
+        fmt_row(("k", "plds W", "plds D", "lds W", "lds D"), widths)
+    ]
+    for k, pw, pd, lw, ld in rows:
+        lines.append(
+            fmt_row(
+                (k, f"{pw:.0f}", f"{pd:.0f}", f"{lw:.0f}", f"{ld:.0f}"),
+                widths,
+            )
+        )
+    report("adversarial_clique_pulse", lines)
+
+    for k, pw, pd, lw, ld in rows:
+        # Work within a constant factor of the sequential structure...
+        assert pw <= 4 * lw + 10, k
+        # ...but depth at least an order of magnitude lower at k=24.
+        if k >= 24:
+            assert pd * 10 <= ld, (k, pd, ld)

@@ -1,0 +1,82 @@
+"""Figure 12 — sensitivity of PLDS/PLDSOpt to δ and λ.
+
+Paper's Fig. 12 (livejournal): fixing δ and varying λ barely moves the
+maximum error (each line is a cluster of points); fixing λ and growing δ
+drastically reduces running time while increasing the maximum error.
+PLDSOpt's curves flatten for large δ because the levels-per-group bottoms
+out at 1.
+
+We sweep the same parameter grid and assert those sensitivities.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import make_adapter, run_protocol
+
+from .conftest import fmt_row, report
+
+DELTAS = (0.4, 0.8, 1.6, 3.2)
+LAMBDAS = (3.0, 12.0, 96.0)
+
+
+def test_fig12_sensitivity(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["livejournal"]
+    batch = max(1, spec.num_edges // 4)
+
+    def run():
+        table = {}
+        for key in ("plds", "pldsopt"):
+            for delta in DELTAS:
+                for lam in LAMBDAS:
+                    res = run_protocol(
+                        lambda: make_adapter(
+                            key, spec.num_vertices + 1, delta=delta, lam=lam
+                        ),
+                        spec.edges,
+                        "ins",
+                        batch,
+                    )
+                    table[(key, delta, lam)] = (
+                        res.avg_work,
+                        res.errors.maximum,
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = (9, 6, 6, 12, 9)
+    lines = [fmt_row(("algo", "delta", "lambda", "avg work", "max err"), widths)]
+    for (key, d, l), (w, e) in sorted(table.items()):
+        lines.append(fmt_row((key, d, l, f"{w:.0f}", f"{e:.2f}"), widths))
+    report("fig12_sensitivity", lines)
+
+    # λ-insensitivity: at fixed δ, max error varies far less across λ than
+    # the theoretical ratio of the bounds.  For PLDSOpt this only holds
+    # while its group structure is non-degenerate (δ <= 1.6 keeps more
+    # than one level per group at this scale); beyond that single-level
+    # jitter dominates, which the paper's own flat-curve caveat notes.
+    lam_insensitive = {"plds": DELTAS, "pldsopt": [d for d in DELTAS if d <= 1.6]}
+    for key, deltas in lam_insensitive.items():
+        for delta in deltas:
+            errs = [table[(key, delta, lam)][1] for lam in LAMBDAS]
+            assert max(errs) <= max(3.0 * min(errs), min(errs) + 2.0), (
+                key,
+                delta,
+                errs,
+            )
+    # δ-sensitivity: at fixed λ, growing δ 8x reduces work.
+    for key in ("plds", "pldsopt"):
+        for lam in LAMBDAS:
+            works = [table[(key, delta, lam)][0] for delta in DELTAS]
+            assert works[-1] < works[0], (key, lam, works)
+
+    # PLDSOpt's work curve flattens at large δ (levels/group bottoms out).
+    for lam in LAMBDAS:
+        w16 = table[("pldsopt", 1.6, lam)][0]
+        w32 = table[("pldsopt", 3.2, lam)][0]
+        assert w32 > 0.4 * w16, (lam, w16, w32)
+
+    # PLDS max error respects (1+δ)(2+3/λ) everywhere.
+    for (key, d, l), (_, e) in table.items():
+        if key == "plds":
+            assert e <= (1 + d) * (2 + 3 / l) + 1e-9

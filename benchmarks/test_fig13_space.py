@@ -1,0 +1,60 @@
+"""Figure 13 — maximum space usage vs average error.
+
+Paper's Fig. 13 (dblp/livejournal, Ins and Del): PLDS uses the most
+memory (its O(n log² n) level structures); PLDSOpt stays within small
+constant factors of the exact baselines (Hua/Zhang) — up to 1.34x *less*
+on dblp and at most ~1.7x more on livejournal; Sun mostly uses more
+space than PLDSOpt.
+
+We measure the structure-byte accounting of each implementation after an
+Ins run (space peaks when the whole graph is resident) and assert those
+relative positions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import make_adapter, run_protocol
+
+from .conftest import fmt_row, report
+
+ALGOS = ("plds", "pldsopt", "sun", "hua", "zhang")
+
+
+def test_fig13_space_vs_error(suite_by_paper_name, benchmark):
+    def run():
+        table = {}
+        for ds in ("dblp", "livejournal"):
+            spec = suite_by_paper_name[ds]
+            batch = max(1, spec.num_edges // 4)
+            for key in ALGOS:
+                res = run_protocol(
+                    lambda k=key: make_adapter(k, spec.num_vertices + 1),
+                    spec.edges,
+                    "ins",
+                    batch,
+                )
+                table[(ds, key)] = (
+                    res.space_bytes,
+                    res.errors.average,
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = (14, 9, 12, 9)
+    lines = [fmt_row(("dataset", "algo", "bytes", "avg err"), widths)]
+    for (ds, key), (space, err) in sorted(table.items()):
+        lines.append(fmt_row((ds, key, space, f"{err:.2f}"), widths))
+    report("fig13_space", lines)
+
+    for ds in ("dblp", "livejournal"):
+        exact_min = min(table[(ds, "hua")][0], table[(ds, "zhang")][0])
+        # PLDSOpt stays within a small factor of the exact baselines.
+        assert table[(ds, "pldsopt")][0] <= 2.5 * exact_min, ds
+        # PLDS (full level structure) uses at least as much as PLDSOpt.
+        assert table[(ds, "plds")][0] >= table[(ds, "pldsopt")][0], ds
+        # Every space figure is positive and bounded by a sane multiple
+        # of the graph size.
+        m = suite_by_paper_name[ds].num_edges
+        for key in ALGOS:
+            assert 0 < table[(ds, key)][0] <= 2000 * m, (ds, key)

@@ -1,0 +1,191 @@
+"""Figure 8 — accuracy (avg/max error ratio) vs per-batch running time.
+
+Paper's Fig. 8: on dblp (batch 10^5) and livejournal (batch 10^6), for
+Ins/Del/Mix, PLDSOpt / PLDS / LDS (sweeping δ, λ) and Sun (sweeping its
+parameters) trace accuracy-vs-time curves; Hua and Zhang appear as
+exact (error 1) timing lines.  Key shapes reported:
+
+- PLDSOpt dominates: for parameters giving similar error it is the
+  fastest of all algorithms;
+- larger δ trades error for speed along each curve;
+- Sun reaches comparable error but at much higher sequential cost.
+
+Simulated running time = work/60 + depth for parallel algorithms (30-core
+2-way-hyperthreaded machine), plain work for sequential ones.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import make_adapter, run_protocol
+from repro.parallel.scheduler import BrentScheduler
+
+from .conftest import fmt_row, report
+
+DELTAS = (0.4, 1.6, 6.4)
+LAMBDAS = (3.0, 96.0)
+SUN_PARAMS = ((1.0, 1.0), (2.0, 2.0), (3.2, 3.2))
+THREADS = 60
+
+SCHED = BrentScheduler()
+
+
+def _sim_time(result, parallel: bool) -> float:
+    cost = result.total_cost
+    per_batch = max(1, len(result.batches))
+    if parallel:
+        return SCHED.time(cost, THREADS) / per_batch
+    return cost.work / per_batch
+
+
+def _sweep(edges, n_hint, protocol, batch_size):
+    rows = []
+    for delta in DELTAS:
+        for lam in LAMBDAS:
+            for key in ("pldsopt", "plds", "lds"):
+                res = run_protocol(
+                    lambda: make_adapter(key, n_hint, delta=delta, lam=lam),
+                    edges,
+                    protocol,
+                    batch_size,
+                )
+                rows.append(
+                    (
+                        key,
+                        f"d={delta},l={lam:g}",
+                        _sim_time(res, key != "lds"),
+                        res.errors.average,
+                        res.errors.maximum,
+                    )
+                )
+    # Heuristic parameters (Section 6.2): replace (2+3/λ) with 1.1 — the
+    # proofs no longer apply but empirical estimates tighten.
+    for delta in (0.4, 1.6):
+        for key in ("pldsopt", "plds"):
+            res = run_protocol(
+                lambda: make_adapter(
+                    key, n_hint, delta=delta, upper_coeff=1.1
+                ),
+                edges,
+                protocol,
+                batch_size,
+            )
+            rows.append(
+                (
+                    f"{key}-h",
+                    f"d={delta},c=1.1",
+                    _sim_time(res, True),
+                    res.errors.average,
+                    res.errors.maximum,
+                )
+            )
+    for eps, lam in SUN_PARAMS:
+        res = run_protocol(
+            lambda: make_adapter("sun", n_hint, sun_eps=eps, sun_lam=lam),
+            edges,
+            protocol,
+            batch_size,
+        )
+        rows.append(
+            (
+                "sun",
+                f"e={eps},l={lam}",
+                _sim_time(res, False),
+                res.errors.average,
+                res.errors.maximum,
+            )
+        )
+    for key in ("hua", "zhang"):
+        res = run_protocol(
+            lambda: make_adapter(key, n_hint), edges, protocol, batch_size
+        )
+        rows.append(
+            (
+                key,
+                "exact",
+                _sim_time(res, key == "hua"),
+                res.errors.average,
+                res.errors.maximum,
+            )
+        )
+    return rows
+
+
+def _report(dataset_name, protocol, rows):
+    widths = (9, 14, 12, 9, 9)
+    lines = [fmt_row(("algo", "params", "sim time", "avg err", "max err"), widths)]
+    for algo, params, t, avg, mx in rows:
+        lines.append(
+            fmt_row((algo, params, f"{t:.0f}", f"{avg:.2f}", f"{mx:.2f}"), widths)
+        )
+    report(f"fig8_{dataset_name}_{protocol}", lines)
+
+
+def _check_shapes(rows):
+    by_algo: dict[str, list] = {}
+    for algo, params, t, avg, mx in rows:
+        by_algo.setdefault(algo, []).append((params, t, avg, mx))
+
+    # Exact baselines report error exactly 1.
+    for key in ("hua", "zhang"):
+        assert all(avg == 1.0 for _, _, avg, _ in by_algo[key])
+
+    # PLDSOpt is faster than PLDS and LDS at matched parameters.
+    opt = {p: t for p, t, _, _ in by_algo["pldsopt"]}
+    for p, t, _, _ in by_algo["plds"]:
+        assert opt[p] <= t * 1.5, ("pldsopt vs plds", p)
+    for p, t, _, _ in by_algo["lds"]:
+        assert opt[p] <= t, ("pldsopt vs lds", p)
+
+    # PLDSOpt beats the sequential approximate baseline (Sun).
+    best_opt = min(t for _, t, _, _ in by_algo["pldsopt"])
+    best_sun = min(t for _, t, _, _ in by_algo["sun"])
+    assert best_opt < best_sun
+
+    # PLDS max error never exceeds the provable bound (1+δ)(2+3/λ).
+    for p, _, _, mx in by_algo["plds"]:
+        delta = float(p.split(",")[0][2:])
+        lam = float(p.split("l=")[1])
+        assert mx <= (1 + delta) * (2 + 3 / lam) + 1e-9, (p, mx)
+
+    # Heuristic parameters (coefficient 1.1) tighten the empirical
+    # average error at matched δ=0.4, as the paper observes for its
+    # (and Sun's α=1.1) heuristic settings.
+    theory_avg = dict(
+        (p, avg) for p, _, avg, _ in by_algo["plds"]
+    )["d=0.4,l=3"]
+    heur_avg = dict(
+        (p, avg) for p, _, avg, _ in by_algo["plds-h"]
+    )["d=0.4,c=1.1"]
+    assert heur_avg <= theory_avg + 1e-9
+
+
+def test_fig8_dblp_analog(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["dblp"]
+    batch = max(1, spec.num_edges // 6)
+
+    def run():
+        return {
+            proto: _sweep(spec.edges, spec.num_vertices + 1, proto, batch)
+            for proto in ("ins", "del", "mix")
+        }
+
+    all_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for proto, rows in all_rows.items():
+        _report("dblp", proto, rows)
+        _check_shapes(rows)
+
+
+def test_fig8_livejournal_analog(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["livejournal"]
+    batch = max(1, spec.num_edges // 4)
+
+    def run():
+        return {
+            proto: _sweep(spec.edges, spec.num_vertices + 1, proto, batch)
+            for proto in ("ins", "del", "mix")
+        }
+
+    all_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for proto, rows in all_rows.items():
+        _report("livejournal", proto, rows)
+        _check_shapes(rows)

@@ -1,0 +1,91 @@
+"""Figure 9 — batch size vs average per-batch running time.
+
+Paper's Fig. 9: per-batch time of PLDSOpt / PLDS / LDS / Zhang / Hua on
+dblp and livejournal as the batch size grows from 10² to the full graph.
+Shapes reported:
+
+- PLDSOpt is fastest on all but the smallest batches;
+- for the smallest Del/Mix batches, the sequential algorithms (Zhang,
+  LDS) can win because parallel overhead dominates (Section 6.3);
+- per-batch time grows with batch size for every algorithm, but the
+  parallel algorithms grow sublinearly in simulated time (more
+  parallelism available).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import make_adapter, run_protocol
+from repro.parallel.scheduler import BrentScheduler
+
+from .conftest import fmt_row, report
+
+THREADS = 60
+#: parallel overhead per batch (simulated-time units) — models the fork/
+#: scheduler overhead the paper discusses for small batches.
+PARALLEL_OVERHEAD = 500.0
+
+SCHED = BrentScheduler()
+ALGOS = ("pldsopt", "plds", "lds", "zhang", "hua")
+PARALLEL = {"pldsopt", "plds", "hua"}
+
+
+def _per_batch_time(res, parallel: bool) -> float:
+    n_batches = max(1, len(res.batches))
+    if parallel:
+        return SCHED.time(res.total_cost, THREADS) / n_batches + PARALLEL_OVERHEAD
+    return res.total_cost.work / n_batches
+
+
+def test_fig9_batch_size_sweep(suite_by_paper_name, benchmark):
+    spec = suite_by_paper_name["dblp"]
+    m = spec.num_edges
+    batch_sizes = [10, m // 16, m // 4, m]
+
+    def run():
+        table = {}
+        for proto in ("ins", "del"):
+            for bs in batch_sizes:
+                for key in ALGOS:
+                    res = run_protocol(
+                        lambda k=key: make_adapter(k, spec.num_vertices + 1),
+                        spec.edges,
+                        proto,
+                        max(1, bs),
+                        max_batches=8,
+                    )
+                    table[(proto, bs, key)] = _per_batch_time(
+                        res, key in PARALLEL
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = (6, 8) + (11,) * len(ALGOS)
+    lines = [fmt_row(("proto", "batch") + ALGOS, widths)]
+    for proto in ("ins", "del"):
+        for bs in batch_sizes:
+            lines.append(
+                fmt_row(
+                    (proto, bs)
+                    + tuple(f"{table[(proto, bs, k)]:.0f}" for k in ALGOS),
+                    widths,
+                )
+            )
+    report("fig9_batchsize", lines)
+
+    # Shape: PLDSOpt wins for the larger batches (m/4 and m).
+    for proto in ("ins", "del"):
+        for bs in batch_sizes[2:]:
+            others = [table[(proto, bs, k)] for k in ALGOS if k != "pldsopt"]
+            assert table[(proto, bs, "pldsopt")] <= min(others), (proto, bs)
+
+    # Shape: for small batches, some sequential algorithm beats PLDS
+    # (parallel overhead dominates), mirroring Section 6.3's findings.
+    for tiny in batch_sizes[:2]:
+        seq_best = min(table[("del", tiny, k)] for k in ("zhang", "lds"))
+        assert seq_best < table[("del", tiny, "plds")]
+
+    # Shape: per-batch time grows with batch size for every algorithm.
+    for key in ALGOS:
+        times = [table[("ins", bs, key)] for bs in batch_sizes]
+        assert times[-1] >= times[0]

@@ -1,0 +1,89 @@
+"""Theorems 3.5/3.7 — batch-dynamic coloring cost and palette profile.
+
+Paper bounds: the explicit coloring maintains O(α log n) colors in
+O(|B| log² n) amortized work (oblivious adversary); the implicit coloring
+answers queries from the orientation within an O(2^α)-color budget
+(our mex-over-out-neighbors variant uses at most max-out-degree + 1 =
+O(α) colors, documented in DESIGN.md).
+
+We measure palette sizes and amortized work across densities and assert
+both palette envelopes and properness under churn.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.orientation import degeneracy
+from repro.framework import (
+    create_explicit_coloring_driver,
+    create_implicit_coloring_driver,
+)
+from repro.graphs.generators import barabasi_albert
+from repro.graphs.streams import deletion_batches, insertion_batches
+
+from .conftest import fmt_row, report
+
+CONFIGS = [(256, 3), (256, 8), (512, 4)]
+
+
+def test_coloring_cost_profile(benchmark):
+    def run():
+        rows = []
+        for n, density in CONFIGS:
+            edges = barabasi_albert(n, density, seed=n * density)
+            alpha = degeneracy(edges)
+
+            driver, explicit = create_explicit_coloring_driver(n_hint=n + 1)
+            for b in insertion_batches(edges, 128, seed=1):
+                driver.update(b)
+            assert not explicit.violations()
+            for b in deletion_batches(edges[: len(edges) // 3], 128, seed=1):
+                driver.update(b)
+            assert not explicit.violations()
+            explicit_colors = explicit.colors_used()
+            explicit_work = driver.tracker.work / (len(edges) * 4 // 3)
+
+            d2, implicit = create_implicit_coloring_driver(n_hint=n + 1)
+            for b in insertion_batches(edges, 128, seed=1):
+                d2.update(b)
+            colors = implicit.query(sorted(d2.plds.vertices()))
+            assert not implicit.violations()
+            implicit_palette = max(colors.values()) + 1
+            max_out = max(
+                len(d2.plds.out_neighbors(v)) for v in d2.plds.vertices()
+            )
+            rows.append(
+                (
+                    n,
+                    density,
+                    alpha,
+                    explicit_colors,
+                    f"{explicit_work:.0f}",
+                    implicit_palette,
+                    max_out,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = (6, 4, 6, 11, 11, 11, 8)
+    lines = [
+        fmt_row(
+            ("n", "d", "alpha", "expl cols", "expl W/upd", "impl cols", "maxout"),
+            widths,
+        )
+    ]
+    for row in rows:
+        lines.append(fmt_row(row, widths))
+    report("framework_coloring", lines)
+
+    for n, density, alpha, expl_cols, expl_w, impl_cols, max_out in rows:
+        # Explicit palette within O(α log n).
+        assert expl_cols <= 80 * max(alpha, 1) * math.log2(n), (n, density)
+        # Implicit palette within max-out-degree + 1 <= O(α) << 2^α.
+        assert impl_cols <= max_out + 1
+        assert impl_cols <= 2 ** max(alpha, 3)
+        # Explicit work per update within C log² n (no α term needed).
+        assert float(expl_w) <= 90 * math.log2(n) ** 2, (n, density)

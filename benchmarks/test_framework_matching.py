@@ -1,0 +1,83 @@
+"""Theorem 3.4 — batch-dynamic maximal matching cost profile.
+
+The paper proves O(|B|(α + log² n)) amortized work and
+Õ(log Δ log² n) depth.  We measure amortized work per update and
+per-batch depth on graphs of growing size and density, assert the
+polylog-plus-α envelope, and verify maximality is maintained throughout
+(correctness under load).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.orientation import degeneracy
+from repro.framework import create_matching_driver
+from repro.graphs.generators import barabasi_albert
+from repro.graphs.streams import deletion_batches, insertion_batches
+
+from .conftest import fmt_row, report
+
+SIZES = (128, 256, 512)
+DENSITY = (3, 6)
+
+
+def test_matching_cost_profile(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            for k in DENSITY:
+                edges = barabasi_albert(n, k, seed=n + k)
+                driver, app = create_matching_driver(n_hint=n + 1)
+                worst_depth = 0
+                for b in insertion_batches(edges, 128, seed=1):
+                    before = driver.tracker.cost
+                    driver.update(b)
+                    worst_depth = max(
+                        worst_depth, driver.tracker.depth - before.depth
+                    )
+                assert not app.violations()
+                ins_work = driver.tracker.work
+                for b in deletion_batches(edges[: len(edges) // 2], 128, seed=1):
+                    before = driver.tracker.cost
+                    driver.update(b)
+                    worst_depth = max(
+                        worst_depth, driver.tracker.depth - before.depth
+                    )
+                assert not app.violations()
+                total_updates = len(edges) + len(edges) // 2
+                rows.append(
+                    (
+                        n,
+                        k,
+                        degeneracy(edges),
+                        driver.tracker.work / total_updates,
+                        worst_depth,
+                        len(app.matching()),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = (6, 4, 6, 12, 12, 10)
+    lines = [
+        fmt_row(("n", "k", "degen", "work/upd", "max depth", "|M|"), widths)
+    ]
+    for n, k, d, w, dep, msz in rows:
+        lines.append(fmt_row((n, k, d, f"{w:.0f}", dep, msz), widths))
+    report("framework_matching", lines)
+
+    # Envelope: amortized work within C(α + log² n); depth within
+    # C log Δ log² n (α proxied by degeneracy, Δ <= n).
+    C = 80
+    for n, k, d, w, dep, _ in rows:
+        log2n = math.log2(n) ** 2
+        assert w <= C * (d + log2n), (n, k)
+        assert dep <= C * log2n * math.log2(n), (n, k)
+
+    # Work grows far slower than n (polylog + α, not linear).
+    small = [r for r in rows if r[0] == SIZES[0]]
+    large = [r for r in rows if r[0] == SIZES[-1]]
+    for s, l in zip(small, large):
+        assert l[3] <= s[3] * (SIZES[-1] / SIZES[0]) / 1.5

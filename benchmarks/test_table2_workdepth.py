@@ -1,0 +1,120 @@
+"""Table 2 — work/depth bounds of the paper's algorithms.
+
+Paper's Table 2 states, per problem, the asymptotic work and depth:
+
+=============  ==========================  =========================
+problem        work                        depth
+=============  ==========================  =========================
+k-core         O(|B| log² n)               Õ(log² n)
+orientation    O(|B| log² n)               Õ(log² n)
+matching       O(|B| (α + log² n))         Õ(log Δ log² n)
+k-clique       O(|B| α^{k-2} log² n)       Õ(log² n)
+coloring       O(|B| log² n)               Õ(log² n)
+=============  ==========================  =========================
+
+We measure metered work/depth per batch while n grows and assert the
+measurements stay inside polylog envelopes: amortized work per update
+within c·log²n, and per-batch depth within c·log²n·loglog n — i.e., the
+*growth* is polylogarithmic, not polynomial.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.plds import PLDS
+from repro.framework import (
+    create_clique_driver,
+    create_explicit_coloring_driver,
+    create_matching_driver,
+)
+from repro.graphs.generators import barabasi_albert
+from repro.graphs.streams import insertion_batches
+
+from .conftest import fmt_row, report
+
+SIZES = (128, 256, 512, 1024)
+BATCH = 128
+
+
+def _run_kcore(n):
+    edges = barabasi_albert(n, 4, seed=n)
+    plds = PLDS(n_hint=n + 1)
+    worst_depth = 0
+    for b in insertion_batches(edges, BATCH, seed=1):
+        before = plds.tracker.cost
+        plds.update(b)
+        worst_depth = max(worst_depth, plds.tracker.depth - before.depth)
+    return plds.tracker.work / len(edges), worst_depth
+
+
+def _run_app(n, factory):
+    edges = barabasi_albert(n, 4, seed=n)
+    driver, app = factory(n)
+    worst_depth = 0
+    for b in insertion_batches(edges, BATCH, seed=1):
+        before = driver.tracker.cost
+        driver.update(b)
+        worst_depth = max(worst_depth, driver.tracker.depth - before.depth)
+    return driver.tracker.work / len(edges), worst_depth
+
+
+def test_table2_workdepth_scaling(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            w_core, d_core = _run_kcore(n)
+            w_match, d_match = _run_app(
+                n, lambda nn: create_matching_driver(n_hint=nn + 1)
+            )
+            w_clq, d_clq = _run_app(
+                n, lambda nn: create_clique_driver(n_hint=nn + 1, k=3)
+            )
+            w_col, d_col = _run_app(
+                n, lambda nn: create_explicit_coloring_driver(n_hint=nn + 1)
+            )
+            rows.append(
+                (n, w_core, d_core, w_match, d_match, w_clq, d_clq, w_col, d_col)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = (6,) + (11,) * 8
+    lines = [
+        fmt_row(
+            (
+                "n",
+                "core W/upd", "core D",
+                "match W/upd", "match D",
+                "clq W/upd", "clq D",
+                "col W/upd", "col D",
+            ),
+            widths,
+        )
+    ]
+    for row in rows:
+        lines.append(
+            fmt_row((row[0],) + tuple(f"{x:.0f}" for x in row[1:]), widths)
+        )
+    report("table2_workdepth", lines)
+
+    # Polylog envelopes: for every n, amortized work/update <= C log^2 n and
+    # per-batch depth <= C log^2 n loglog n.
+    C_WORK, C_DEPTH = 60, 60
+    for n, w_core, d_core, w_match, d_match, w_clq, d_clq, w_col, d_col in rows:
+        log2n = math.log2(n) ** 2
+        loglog = math.log2(math.log2(n))
+        assert w_core <= C_WORK * log2n
+        assert d_core <= C_DEPTH * log2n * loglog
+        assert d_clq <= C_DEPTH * log2n * loglog
+        assert d_col <= C_DEPTH * log2n * loglog
+        # matching depth has the extra log Δ factor
+        assert d_match <= C_DEPTH * log2n * math.log2(n)
+
+    # Growth check: quadrupling n must not grow per-update work more than
+    # the polylog ratio would allow (i.e. far slower than linear).
+    first, last = rows[0], rows[-1]
+    n_ratio = last[0] / first[0]
+    for idx in (1, 3, 5, 7):
+        work_ratio = last[idx] / max(first[idx], 1e-9)
+        assert work_ratio < n_ratio, f"work column {idx} grows superpolylog"

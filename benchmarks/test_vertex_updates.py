@@ -1,0 +1,78 @@
+"""Section 5.9 — batched vertex insertions/deletions and the rebuild policy.
+
+The paper handles vertex updates by treating deletions as incident-edge
+deletion batches and amortizing periodic structure rebuilds against n/2
+vertex updates, for O(log² n) amortized work per vertex update.  We
+churn vertices (arrivals with a few edges, departures) and check the
+amortized work envelope and that invariants/estimates survive rebuilds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.invariants import approximation_violations
+from repro.core.plds import PLDS
+from repro.graphs.dynamic_graph import canonical_edge
+from repro.graphs.streams import Batch
+from repro.static_kcore.exact import exact_coreness
+
+from .conftest import fmt_row, report
+
+
+def test_vertex_churn_amortization(benchmark):
+    def run():
+        rng = random.Random(3)
+        plds = PLDS(n_hint=64, group_shrink=10)
+        alive: list[int] = []
+        edges: set = set()
+        next_id = 0
+        vertex_updates = 0
+        # grow to 600 vertices, then churn arrivals/departures
+        for step in range(1200):
+            if len(alive) < 600 or rng.random() < 0.5:
+                v = next_id
+                next_id += 1
+                plds.insert_vertices([v])
+                vertex_updates += 1
+                targets = rng.sample(alive, min(3, len(alive)))
+                batch = [
+                    canonical_edge(v, w)
+                    for w in targets
+                    if canonical_edge(v, w) not in edges
+                ]
+                if batch:
+                    plds.update(Batch(insertions=batch))
+                    edges.update(batch)
+                alive.append(v)
+            else:
+                v = alive.pop(rng.randrange(len(alive)))
+                plds.delete_vertices([v])
+                vertex_updates += 1
+                edges = {e for e in edges if v not in e}
+        assert not plds.check_invariants()
+        exact = exact_coreness(sorted(edges), vertices=alive)
+        bad = approximation_violations(
+            plds.coreness_estimates(), exact, plds.approximation_factor()
+        )
+        assert not bad, bad[:3]
+        return vertex_updates, plds.tracker.work, len(alive), plds.n_hint
+
+    updates, work, n_alive, hint = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_update = work / updates
+    lines = [
+        fmt_row(("metric", "value"), (24, 14)),
+        fmt_row(("vertex updates", updates), (24, 14)),
+        fmt_row(("total work", work), (24, 14)),
+        fmt_row(("work / vertex update", f"{per_update:.0f}"), (24, 14)),
+        fmt_row(("final n / hint", f"{n_alive} / {hint}"), (24, 14)),
+    ]
+    report("vertex_churn", lines)
+
+    # Amortized work per vertex update (including its few edge updates
+    # and the rebuild shares) stays within a polylog envelope.
+    n = max(n_alive, 2)
+    assert per_update <= 80 * math.log2(n) ** 2, per_update
+    # The rebuild policy kept the hint proportional to the live size.
+    assert hint <= 8 * n_alive + 64

@@ -1,0 +1,63 @@
+"""Scalability study: simulated speedup curves across algorithms.
+
+Reproduces the shape of the paper's Figure 10 on a chosen analog
+dataset: metered work/depth per algorithm converted into simulated
+running times on 1..60 threads via Brent's bound (see
+``repro.parallel.scheduler`` for the model and DESIGN.md for why this
+substitution is faithful to the paper's claims).
+
+Run:  python examples/scalability_study.py [dataset] [batch_divisor]
+      e.g. python examples/scalability_study.py livejournal 3
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import SEQUENTIAL_KEYS, make_adapter, run_protocol
+from repro.graphs.generators import dataset_suite
+from repro.parallel.scheduler import BrentScheduler
+
+THREADS = (1, 2, 4, 8, 15, 30, 60)
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "livejournal"
+    divisor = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    suite = {d.paper_name: d for d in dataset_suite(scale=0.3, seed=42)}
+    if dataset not in suite:
+        raise SystemExit(f"unknown dataset {dataset!r}; pick from {sorted(suite)}")
+    spec = suite[dataset]
+    batch = max(1, spec.num_edges // divisor)
+    print(
+        f"dataset={spec.name} (n={spec.num_vertices}, m={spec.num_edges}), "
+        f"Ins protocol, batch={batch}"
+    )
+
+    sched = BrentScheduler(hyperthread_cores=30, hyperthread_yield=0.35)
+    costs = {}
+    for key in ("pldsopt", "plds", "hua", "lds", "sun", "zhang"):
+        res = run_protocol(
+            lambda k=key: make_adapter(k, spec.num_vertices + 1),
+            spec.edges,
+            "ins",
+            batch,
+        )
+        costs[key] = res.total_cost
+
+    parallel = [k for k in costs if k not in SEQUENTIAL_KEYS]
+    print("\nself-relative speedup (T_1 / T_p):")
+    print("threads  " + "  ".join(f"{k:>8s}" for k in parallel))
+    for p in THREADS:
+        row = "  ".join(f"{sched.speedup(costs[k], p):7.2f}x" for k in parallel)
+        print(f"{p:7d}  {row}")
+
+    print("\nabsolute simulated time at 60 threads (sequential at 1):")
+    for key, cost in sorted(costs.items(), key=lambda kv: kv[1].work):
+        p = 1 if key in SEQUENTIAL_KEYS else 60
+        print(f"  {key:8s} T = {sched.time(cost, p):12.0f}   (W={cost.work}, D={cost.depth})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Live coreness monitoring over a social-network event stream.
+
+The paper's motivating scenario (Sections 1, 4): a social platform where
+"many follows and unfollows can occur in a very short period of time
+following a viral post", and the k-core structure — a standard proxy for
+community engagement — must be tracked in real time.
+
+This example simulates that workload:
+
+1. grow a preferential-attachment network (organic growth),
+2. inject a *viral burst* — a hub suddenly gains hundreds of followers,
+3. churn — a mass-unfollow wave removes many of those edges again,
+
+maintaining PLDSOpt estimates throughout and comparing, at each phase,
+against (a) exact recomputation-from-scratch cost and (b) the estimates'
+accuracy.
+
+Run:  python examples/social_stream_cores.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import PLDS, Batch, exact_coreness
+from repro.bench.metrics import error_stats
+from repro.graphs.generators import barabasi_albert
+
+
+def phase_report(name: str, plds: PLDS, current_edges: set, wall: float) -> None:
+    exact = exact_coreness(sorted(current_edges))
+    stats = error_stats(plds.coreness_estimates(), exact)
+    top = max(exact.values(), default=0)
+    print(
+        f"{name:24s}  edges={len(current_edges):6d}  max-core={top:3d}  "
+        f"err avg={stats.average:4.2f} max={stats.maximum:4.2f}  "
+        f"update took {wall * 1e3:7.2f} ms"
+    )
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n = 2000
+    base_edges = barabasi_albert(n, 5, seed=3)
+
+    # PLDSOpt configuration: 50x fewer levels per group (Section 6.1).
+    plds = PLDS(n_hint=n + 500, delta=0.4, lam=3.0, group_shrink=50)
+    current: set = set()
+
+    print("== organic growth (batches of 1000 follows) ==")
+    for i in range(0, len(base_edges), 1000):
+        batch = base_edges[i : i + 1000]
+        t0 = time.perf_counter()
+        plds.update(Batch(insertions=batch))
+        wall = time.perf_counter() - t0
+        current |= set(batch)
+    phase_report("after growth", plds, current, wall)
+
+    print("\n== viral burst: vertex 0 gains 400 followers ==")
+    new_followers = []
+    fresh = n
+    for _ in range(400):
+        if rng.random() < 0.5:
+            w = rng.randrange(1, n)
+            e = (0, w)
+            if e not in current and (w, 0) not in current:
+                new_followers.append(e)
+        else:  # brand-new account follows the hub
+            new_followers.append((0, fresh))
+            fresh += 1
+    new_followers = list(dict.fromkeys(new_followers))
+    t0 = time.perf_counter()
+    plds.update(Batch(insertions=new_followers))
+    wall = time.perf_counter() - t0
+    current |= set(new_followers)
+    phase_report("after burst", plds, current, wall)
+    print(f"   hub estimate k̂(0) = {plds.coreness_estimate(0):.2f}")
+
+    print("\n== churn: 70% of the burst unfollows ==")
+    unfollow = rng.sample(new_followers, int(0.7 * len(new_followers)))
+    t0 = time.perf_counter()
+    plds.update(Batch(deletions=unfollow))
+    wall = time.perf_counter() - t0
+    current -= set(unfollow)
+    phase_report("after churn", plds, current, wall)
+    print(f"   hub estimate k̂(0) = {plds.coreness_estimate(0):.2f}")
+
+    # What a static recompute costs in comparison (the paper's Fig. 11
+    # comparison: dynamic maintenance vs rerunning from scratch).
+    t0 = time.perf_counter()
+    exact_coreness(sorted(current))
+    static_wall = time.perf_counter() - t0
+    print(
+        f"\nexact static recompute of the final graph: "
+        f"{static_wall * 1e3:.2f} ms per snapshot — the dynamic structure "
+        "amortizes far below that per batch at scale."
+    )
+    print(
+        f"simulated parallel cost of the whole session: "
+        f"work={plds.tracker.work}, depth={plds.tracker.depth}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Dynamic subgraph analytics: matching, triangles, and coloring together.
+
+The paper's Section-8 framework derives several batch-dynamic analytics
+from one low out-degree orientation.  This example maintains, over the
+same update stream of a collaboration network:
+
+- a maximal matching (e.g. reviewer assignment),
+- the exact triangle count (a clustering/cohesion signal),
+- a proper vertex coloring (e.g. conflict-free scheduling slots),
+
+and verifies each against a from-scratch oracle after every phase.
+
+Run:  python examples/subgraph_analytics.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.framework import (
+    create_clique_driver,
+    create_explicit_coloring_driver,
+    create_matching_driver,
+)
+from repro.graphs.generators import barabasi_albert
+from repro.graphs.streams import Batch
+
+
+def main() -> None:
+    rng = random.Random(11)
+    n = 600
+    pool = barabasi_albert(n, 4, seed=9)
+
+    matching_driver, matching = create_matching_driver(n_hint=n + 1)
+    clique_driver, triangles = create_clique_driver(
+        n_hint=n + 1, k=3, track_local=True
+    )
+    coloring_driver, coloring = create_explicit_coloring_driver(n_hint=n + 1)
+    drivers = (matching_driver, clique_driver, coloring_driver)
+
+    current: set = set()
+
+    def apply(batch: Batch) -> None:
+        for d in drivers:
+            d.update(batch)
+        current.update(batch.insertions)
+        current.difference_update(batch.deletions)
+
+    def verify(phase: str) -> None:
+        G = nx.Graph(sorted(current))
+        expected_triangles = sum(nx.triangles(G).values()) // 3
+        assert triangles.count == expected_triangles
+        assert not matching.violations()
+        assert not coloring.violations()
+        print(
+            f"{phase:22s} edges={len(current):5d}  "
+            f"|matching|={len(matching.matching()):4d}  "
+            f"triangles={triangles.count:5d}  "
+            f"colors={coloring.colors_used():3d}  [all verified]"
+        )
+
+    print("phase                  state")
+    # Build up the network in batches.
+    for i in range(0, len(pool), 600):
+        apply(Batch(insertions=pool[i : i + 600]))
+    verify("after build")
+
+    # A collaboration burst: a dense working group forms.
+    group = list(range(20))
+    burst = [
+        (u, v)
+        for i, u in enumerate(group)
+        for v in group[i + 1 :]
+        if (u, v) not in current
+    ]
+    apply(Batch(insertions=burst))
+    verify("after dense group")
+
+    # Mixed churn: random project turnover.
+    for step in range(3):
+        dels = rng.sample(sorted(current), 150)
+        avail = [e for e in pool if e not in current and e not in dels]
+        ins = rng.sample(avail, min(100, len(avail)))
+        apply(Batch(insertions=ins, deletions=dels))
+        verify(f"after churn {step + 1}")
+
+    # Local counts give clustering coefficients for free.
+    group_cc = sum(triangles.clustering_coefficient(v) for v in group) / len(group)
+    others = [v for v in clique_driver.plds.vertices() if v not in group][:100]
+    other_cc = sum(triangles.clustering_coefficient(v) for v in others) / len(others)
+    print(
+        f"\nmean clustering coefficient: working group {group_cc:.3f} "
+        f"vs background {other_cc:.3f}"
+    )
+
+    total = sum(d.tracker.work for d in drivers)
+    print(f"total simulated work across the three analytics: {total}")
+    print("each analytic rides the same PLDS orientation (paper Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

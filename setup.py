@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; when that is
+unavailable, `python setup.py develop` installs an equivalent editable
+package using only setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Reimplementations of the dynamic k-core baselines the paper compares to.
+
+- :class:`SunApproxDynamic` — sequential approximate (Sun et al. [83]);
+- :class:`HuaExactBatchDynamic` — parallel exact batch (Hua et al. [48]);
+- :class:`ZhangExactDynamic` — sequential exact (Zhang & Yu [93]).
+
+All three are *behavioral* reimplementations built from the published
+algorithm descriptions (original code is proprietary or a separate
+research artifact); see each module's docstring and DESIGN.md for what is
+preserved.
+"""
+
+from .hua import HuaExactBatchDynamic
+from .sun import SunApproxDynamic
+from .traversal import TraversalCoreMaintenance
+from .zhang import ZhangExactDynamic
+
+__all__ = [
+    "HuaExactBatchDynamic",
+    "SunApproxDynamic",
+    "TraversalCoreMaintenance",
+    "ZhangExactDynamic",
+]

@@ -1,0 +1,183 @@
+"""Exact dynamic core maintenance by subcore traversal.
+
+The shared engine behind the *Zhang* and *Hua* baselines.  Implements the
+classic exact single-edge-update algorithm (the SUBCORE/TRAVERSAL family
+of Sariyüce et al., which both Zhang & Yu [93] and Hua et al. [48] build
+on):
+
+- **Insertion** of (u, v): only vertices in the *subcore* of the root
+  (the endpoint with smaller core value ``K``) can be promoted, each by
+  exactly 1.  The subcore is found by BFS over core-``K`` vertices; a
+  candidate survives iff it keeps more than ``K`` qualified neighbors
+  under iterative pruning, in which case its core becomes ``K + 1``.
+- **Deletion** of (u, v): only core-``K`` vertices (``K`` the smaller
+  endpoint core) can be demoted, each by exactly 1; demotions cascade
+  through core-``K`` neighbors that lose their support.
+
+These updates are *exact* but have no sublinear guarantee — the subcore
+can be the whole graph (the paper's cycle example, Section 3), which is
+precisely the behaviour the PLDS avoids.
+
+Work metering counts vertices/edges touched.  Depth metering is
+parameterized: ``sequential`` charges depth == work (Zhang); ``rounds``
+charges one depth unit per BFS layer / pruning wave with parallel work
+inside each wave (Hua's limited intra-update parallelism).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Literal
+
+from ..graphs.dynamic_graph import DynamicGraph
+from ..parallel.engine import WorkDepthTracker
+from ..parallel.primitives import log2_ceil
+
+__all__ = ["TraversalCoreMaintenance"]
+
+
+class TraversalCoreMaintenance:
+    """Exact dynamic coreness under single-edge updates.
+
+    Parameters
+    ----------
+    mode:
+        ``"sequential"`` meters depth equal to work (a one-thread
+        algorithm); ``"rounds"`` meters each BFS frontier / pruning wave
+        as one parallel step.
+    """
+
+    def __init__(
+        self,
+        tracker: WorkDepthTracker | None = None,
+        mode: Literal["sequential", "rounds"] = "sequential",
+    ) -> None:
+        self.tracker = tracker if tracker is not None else WorkDepthTracker()
+        self.mode = mode
+        self.graph = DynamicGraph()
+        self.core: dict[int, int] = {}
+
+    # -- metering helpers ------------------------------------------------
+
+    def _charge(self, work: int, waves: int = 1) -> None:
+        work = max(1, work)
+        if self.mode == "sequential":
+            self.tracker.add(work=work, depth=work)
+        else:
+            self.tracker.add(
+                work=work, depth=max(1, waves) * (log2_ceil(work) + 1)
+            )
+
+    # -- bulk initialization ----------------------------------------------
+
+    def initialize(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Build the graph and exact cores from scratch (indexing phase)."""
+        from ..static_kcore.exact import exact_coreness
+
+        edges = list(edges)
+        for u, v in edges:
+            self.graph.insert_edge(u, v)
+        self.core = exact_coreness(edges)
+        self._charge(work=len(edges) + self.graph.num_vertices)
+
+    # -- queries -----------------------------------------------------------
+
+    def coreness(self, v: int) -> int:
+        return self.core.get(v, 0)
+
+    def corenesses(self) -> dict[int, int]:
+        return dict(self.core)
+
+    # -- single-edge updates -------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> set[int]:
+        """Insert an edge, update cores; returns the touched vertex set."""
+        self.graph.insert_edge(u, v)
+        self.core.setdefault(u, 0)
+        self.core.setdefault(v, 0)
+        ku, kv = self.core[u], self.core[v]
+        root = u if ku <= kv else v
+        K = min(ku, kv)
+
+        # Subcore BFS from the root over core-K vertices.
+        candidates: set[int] = {root}
+        frontier = [root]
+        touched = 1
+        waves = 0
+        while frontier:
+            waves += 1
+            nxt: list[int] = []
+            for x in frontier:
+                for w in self.graph.neighbors(x):
+                    touched += 1
+                    if self.core.get(w, 0) == K and w not in candidates:
+                        candidates.add(w)
+                        nxt.append(w)
+            frontier = nxt
+
+        # Qualified-neighbor counts for the K+1 threshold.
+        cd: dict[int, int] = {}
+        for w in candidates:
+            count = 0
+            for x in self.graph.neighbors(w):
+                kx = self.core.get(x, 0)
+                if kx > K or (kx == K and x in candidates):
+                    count += 1
+            touched += self.graph.degree(w)
+            cd[w] = count
+
+        # Iterative pruning: remove candidates that cannot reach K+1.
+        removed: set[int] = set()
+        queue = deque(w for w in candidates if cd[w] <= K)
+        prune_waves = 0
+        while queue:
+            prune_waves += 1
+            for _ in range(len(queue)):
+                w = queue.popleft()
+                if w in removed:
+                    continue
+                removed.add(w)
+                for x in self.graph.neighbors(w):
+                    touched += 1
+                    if x in candidates and x not in removed:
+                        cd[x] -= 1
+                        if cd[x] <= K:
+                            queue.append(x)
+        for w in candidates - removed:
+            self.core[w] = K + 1
+        self._charge(work=touched, waves=waves + prune_waves)
+        return candidates | {u, v}
+
+    def delete_edge(self, u: int, v: int) -> set[int]:
+        """Delete an edge, update cores; returns the touched vertex set."""
+        ku, kv = self.core.get(u, 0), self.core.get(v, 0)
+        self.graph.delete_edge(u, v)
+        K = min(ku, kv)
+        if K == 0:
+            return {u, v}
+        touched = 2
+        waves = 0
+        visited: set[int] = {u, v}
+        demoted: set[int] = set()
+        queue = deque(w for w in (u, v) if self.core.get(w, 0) == K)
+        while queue:
+            waves += 1
+            for _ in range(len(queue)):
+                w = queue.popleft()
+                visited.add(w)
+                if w in demoted or self.core.get(w, 0) != K:
+                    continue
+                support = 0
+                for x in self.graph.neighbors(w):
+                    touched += 1
+                    if self.core.get(x, 0) >= K:
+                        support += 1
+                if support < K:
+                    demoted.add(w)
+                    self.core[w] = K - 1
+                    for x in self.graph.neighbors(w):
+                        touched += 1
+                        if self.core.get(x, 0) == K and x not in demoted:
+                            queue.append(x)
+        self._charge(work=touched, waves=waves)
+        return visited

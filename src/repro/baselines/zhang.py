@@ -1,0 +1,58 @@
+"""*Zhang*: sequential exact dynamic k-core baseline (Zhang & Yu [93]).
+
+A behavioral reimplementation: the original order-based algorithm's code
+is not redistributable, so we use the exact subcore-traversal maintenance
+(:class:`~repro.baselines.traversal.TraversalCoreMaintenance`) that the
+order-based family refines.  Like the original it is
+
+- exact (always reports true coreness values),
+- sequential (depth == work),
+- fast when updates stay local, but unboundedly slow when a single update
+  perturbs a large subcore — the failure mode the paper's Section 3
+  highlights with the cycle example.
+
+It also mirrors Zhang's *indexing* phase: :meth:`initialize` builds the
+structure from the initial graph (the cost the paper notes lets Zhang
+finish Mix experiments that time out for Ins/Del).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graphs.streams import Batch
+from ..parallel.engine import WorkDepthTracker
+from .traversal import TraversalCoreMaintenance
+
+__all__ = ["ZhangExactDynamic"]
+
+
+class ZhangExactDynamic:
+    """Sequential exact dynamic coreness (batch = loop over updates)."""
+
+    def __init__(self, tracker: WorkDepthTracker | None = None) -> None:
+        self._engine = TraversalCoreMaintenance(tracker=tracker, mode="sequential")
+
+    @property
+    def tracker(self) -> WorkDepthTracker:
+        return self._engine.tracker
+
+    def initialize(self, edges: Iterable[tuple[int, int]]) -> None:
+        self._engine.initialize(edges)
+
+    def update(self, batch: Batch) -> None:
+        """Apply a batch by processing its updates one at a time."""
+        for u, v in batch.insertions:
+            self._engine.insert_edge(u, v)
+        for u, v in batch.deletions:
+            self._engine.delete_edge(u, v)
+
+    def coreness(self, v: int) -> int:
+        return self._engine.coreness(v)
+
+    def corenesses(self) -> dict[int, int]:
+        return self._engine.corenesses()
+
+    def space_bytes(self) -> int:
+        g = self._engine.graph
+        return 16 * g.num_edges + 16 * g.num_vertices

@@ -1,0 +1,341 @@
+"""Experiment harness: adapters and protocol runners for Section 6.
+
+Wraps every dynamic k-core algorithm in the repository behind one adapter
+interface so the Ins/Del/Mix protocols (Section 6, "Ins/Del/Mix
+Experiments") can drive them interchangeably and report comparable
+numbers: simulated cost (work/depth from the metering substrate),
+wall-clock time, error statistics against exact peeling, and space.
+
+Algorithms
+----------
+=========== ============================================= ===========
+key         implementation                                 kind
+=========== ============================================= ===========
+plds        :class:`repro.core.plds.PLDS`                  parallel approx
+pldsopt     PLDS with ``group_shrink=50`` (Section 6.1)    parallel approx
+lds         :class:`repro.core.lds.LDS`                    sequential approx
+sun         :class:`repro.baselines.sun.SunApproxDynamic`  sequential approx
+hua         :class:`repro.baselines.hua.HuaExactBatchDynamic` parallel exact
+zhang       :class:`repro.baselines.zhang.ZhangExactDynamic`  sequential exact
+exactkcore  static rerun of ParallelExactKCore per batch   parallel exact
+approxkcore static rerun of Algorithm 6 per batch          parallel approx
+=========== ============================================= ===========
+
+The two static keys model the paper's Fig.-11 static comparison: the
+"dynamic" update simply reruns the static algorithm from scratch on the
+accumulated graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Literal, Sequence
+
+from ..baselines.hua import HuaExactBatchDynamic
+from ..baselines.sun import SunApproxDynamic
+from ..baselines.zhang import ZhangExactDynamic
+from ..core.lds import LDS
+from ..core.plds import PLDS
+from ..graphs.streams import (
+    Batch,
+    deletion_batches,
+    insertion_batches,
+    mixed_batch,
+)
+from ..parallel.engine import Cost, WorkDepthTracker
+from ..static_kcore.exact import exact_coreness
+from .metrics import ErrorStats, error_stats
+
+__all__ = [
+    "DynamicKCoreAdapter",
+    "StaticRerunAdapter",
+    "make_adapter",
+    "ALGORITHM_KEYS",
+    "ALL_KEYS",
+    "BatchMeasurement",
+    "ExperimentResult",
+    "run_protocol",
+]
+
+Protocol = Literal["ins", "del", "mix"]
+
+ALGORITHM_KEYS = ("plds", "pldsopt", "lds", "sun", "hua", "zhang")
+
+#: including the static-rerun pseudo-algorithms (Fig. 11 comparisons).
+ALL_KEYS = ALGORITHM_KEYS + ("exactkcore", "approxkcore")
+
+#: algorithms whose simulated running time should be read at p=1
+SEQUENTIAL_KEYS = frozenset({"lds", "sun", "zhang"})
+
+
+class StaticRerunAdapter:
+    """A 'dynamic' algorithm that reruns a static one after every batch.
+
+    Mirrors the paper's Fig.-11 protocol for ExactKCore/ApproxKCore: the
+    static algorithm is rerun from scratch on the full accumulated graph
+    after each batch, so per-batch cost is the full static cost.
+    """
+
+    def __init__(self, kind: str, tracker: WorkDepthTracker) -> None:
+        from ..graphs.dynamic_graph import DynamicGraph
+
+        self.kind = kind
+        self.tracker = tracker
+        self._graph = DynamicGraph()
+        self._estimates: dict[int, float] = {}
+
+    def initialize(self, edges) -> None:
+        for u, v in edges:
+            self._graph.insert_edge(u, v)
+        self._recompute()
+
+    def update(self, batch: Batch) -> None:
+        for u, v in batch.insertions:
+            self._graph.insert_edge(u, v)
+        for u, v in batch.deletions:
+            self._graph.delete_edge(u, v)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        from ..static_kcore.approx import approx_coreness_static
+        from ..static_kcore.exact import ParallelExactKCore
+
+        edges = list(self._graph.edges())
+        if self.kind == "exactkcore":
+            result = ParallelExactKCore(self.tracker).run(edges)
+            self._estimates = {v: float(k) for v, k in result.coreness.items()}
+        else:
+            result = approx_coreness_static(edges, tracker=self.tracker)
+            self._estimates = dict(result.estimates)
+
+    def coreness_estimates(self) -> dict[int, float]:
+        return dict(self._estimates)
+
+    def space_bytes(self) -> int:
+        return 16 * self._graph.num_edges + 8 * self._graph.num_vertices
+
+
+class DynamicKCoreAdapter:
+    """Uniform facade over the dynamic k-core implementations."""
+
+    def __init__(self, key: str, impl, is_exact: bool) -> None:
+        self.key = key
+        self.impl = impl
+        self.is_exact = is_exact
+
+    # -- lifecycle -------------------------------------------------------
+
+    def initialize(self, edges: Sequence[tuple[int, int]]) -> None:
+        if isinstance(self.impl, (PLDS, LDS)):
+            if edges:
+                self.impl.update(Batch(insertions=list(edges)))
+        else:
+            self.impl.initialize(edges)
+
+    def update(self, batch: Batch) -> None:
+        self.impl.update(batch)
+
+    # -- results ------------------------------------------------------------
+
+    def estimates(self) -> dict[int, float]:
+        if isinstance(self.impl, (PLDS, LDS, SunApproxDynamic, StaticRerunAdapter)):
+            return self.impl.coreness_estimates()
+        return {v: float(k) for v, k in self.impl.corenesses().items()}
+
+    @property
+    def cost(self) -> Cost:
+        return self.impl.tracker.cost
+
+    def space_bytes(self) -> int:
+        return self.impl.space_bytes()
+
+
+def make_adapter(
+    key: str,
+    n_hint: int,
+    delta: float = 0.4,
+    lam: float = 3.0,
+    sun_eps: float = 2.0,
+    sun_lam: float = 2.0,
+    sun_alpha: float = 2.0,
+    upper_coeff: float | None = None,
+    group_shrink_opt: int = 50,
+) -> DynamicKCoreAdapter:
+    """Build the adapter for one algorithm key with paper-default params."""
+    if key == "plds":
+        return DynamicKCoreAdapter(
+            key, PLDS(n_hint, delta=delta, lam=lam, upper_coeff=upper_coeff), False
+        )
+    if key == "pldsopt":
+        return DynamicKCoreAdapter(
+            key,
+            PLDS(
+                n_hint,
+                delta=delta,
+                lam=lam,
+                group_shrink=group_shrink_opt,
+                upper_coeff=upper_coeff,
+            ),
+            False,
+        )
+    if key == "lds":
+        return DynamicKCoreAdapter(
+            key, LDS(n_hint, delta=delta, lam=lam, upper_coeff=upper_coeff), False
+        )
+    if key == "sun":
+        return DynamicKCoreAdapter(
+            key,
+            SunApproxDynamic(n_hint, eps=sun_eps, lam=sun_lam, alpha=sun_alpha),
+            False,
+        )
+    if key == "hua":
+        return DynamicKCoreAdapter(key, HuaExactBatchDynamic(), True)
+    if key == "zhang":
+        return DynamicKCoreAdapter(key, ZhangExactDynamic(), True)
+    if key in ("exactkcore", "approxkcore"):
+        return DynamicKCoreAdapter(
+            key,
+            StaticRerunAdapter(key, WorkDepthTracker()),
+            key == "exactkcore",
+        )
+    raise ValueError(f"unknown algorithm key {key!r}; choose from {ALL_KEYS}")
+
+
+@dataclass
+class BatchMeasurement:
+    """Cost of processing one batch."""
+
+    batch_size: int
+    work: int
+    depth: int
+    wall_seconds: float
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (algorithm, dataset, protocol) experiment."""
+
+    algorithm: str
+    protocol: str
+    batch_size: int
+    batches: list[BatchMeasurement] = field(default_factory=list)
+    errors: ErrorStats | None = None
+    space_bytes: int = 0
+
+    @property
+    def avg_work(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.work for b in self.batches) / len(self.batches)
+
+    @property
+    def avg_depth(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.depth for b in self.batches) / len(self.batches)
+
+    @property
+    def avg_wall(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.wall_seconds for b in self.batches) / len(self.batches)
+
+    @property
+    def total_cost(self) -> Cost:
+        return Cost(
+            sum(b.work for b in self.batches),
+            sum(b.depth for b in self.batches),
+        )
+
+
+def run_protocol(
+    adapter_factory: Callable[[], DynamicKCoreAdapter],
+    edges: Sequence[tuple[int, int]],
+    protocol: Protocol,
+    batch_size: int,
+    seed: int = 0,
+    measure_error_against: Sequence[tuple[int, int]] | None = None,
+    max_batches: int | None = None,
+) -> ExperimentResult:
+    """Run one Ins/Del/Mix experiment (Section 6 protocol definitions).
+
+    - ``ins``: start empty, insert all edges in batches;
+    - ``del``: start full, delete all edges in batches;
+    - ``mix``: start at graph-minus-I, apply one mixed batch.
+
+    Error statistics are computed at the end against exact peeling of the
+    final graph (or of ``measure_error_against`` if given).
+    """
+    adapter = adapter_factory()
+    final_edges: list[tuple[int, int]]
+
+    if protocol == "ins":
+        batches = insertion_batches(edges, batch_size, seed=seed)
+        final_edges = list(edges)
+    elif protocol == "del":
+        adapter.initialize(edges)
+        batches = deletion_batches(edges, batch_size, seed=seed)
+        final_edges = []
+    elif protocol == "mix":
+        initial, batch = mixed_batch(edges, batch_size, seed=seed)
+        adapter.initialize(initial)
+        batches = [batch]
+        removed = set(batch.deletions)
+        final_edges = [e for e in initial if e not in removed] + list(
+            batch.insertions
+        )
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    if max_batches is not None:
+        consumed = batches[:max_batches]
+        if protocol == "ins":
+            final_edges = [e for b in consumed for e in b.insertions]
+        elif protocol == "del":
+            deleted = {e for b in consumed for e in b.deletions}
+            final_edges = [e for e in edges if e not in deleted]
+        batches = consumed
+
+    result = ExperimentResult(
+        algorithm=adapter.key, protocol=protocol, batch_size=batch_size
+    )
+    # For the del protocol the final graph is empty, so errors are
+    # measured at the halfway point while the graph is still populated
+    # (the paper averages errors over the deletion batches).
+    halfway = max(1, len(batches) // 2)
+    halfway_estimates: dict[int, float] | None = None
+    for i, batch in enumerate(batches):
+        before = adapter.cost
+        t0 = time.perf_counter()
+        adapter.update(batch)
+        wall = time.perf_counter() - t0
+        delta_cost = Cost(
+            adapter.cost.work - before.work, adapter.cost.depth - before.depth
+        )
+        result.batches.append(
+            BatchMeasurement(
+                batch_size=len(batch),
+                work=delta_cost.work,
+                depth=delta_cost.depth,
+                wall_seconds=wall,
+            )
+        )
+        if protocol == "del" and i + 1 == halfway:
+            halfway_estimates = adapter.estimates()
+
+    if measure_error_against is not None:
+        result.errors = error_stats(
+            adapter.estimates(), exact_coreness(list(measure_error_against))
+        )
+    elif protocol == "del":
+        if halfway_estimates is not None:
+            deleted = {e for b in batches[:halfway] for e in b.deletions}
+            remaining = [e for e in edges if e not in deleted]
+            result.errors = error_stats(
+                halfway_estimates, exact_coreness(remaining)
+            )
+    else:
+        result.errors = error_stats(adapter.estimates(), exact_coreness(final_edges))
+    result.space_bytes = adapter.space_bytes()
+    return result

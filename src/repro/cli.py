@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``datasets``
+    Print the synthetic analog dataset inventory (Table 3 analog).
+``kcore``
+    Run one dynamic k-core algorithm over a dataset or edge-list file
+    with an Ins/Del/Mix protocol; print per-batch cost and accuracy.
+``compare``
+    Run every algorithm side by side on one dataset/protocol.
+``scalability``
+    Simulated self-relative speedup curves (Figure 10 analog).
+``static``
+    Static exact vs approximate k-core comparison on one dataset.
+
+Examples
+--------
+::
+
+    python -m repro datasets --scale 0.3
+    python -m repro kcore --dataset livejournal --algorithm pldsopt --protocol ins
+    python -m repro kcore --edges my_graph.txt --batch-size 1000
+    python -m repro compare --dataset dblp --protocol mix
+    python -m repro scalability --dataset orkut
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench.harness import (
+    ALGORITHM_KEYS,
+    SEQUENTIAL_KEYS,
+    make_adapter,
+    run_protocol,
+)
+from .graphs.generators import dataset_suite
+from .graphs.io import read_edge_list
+from .parallel.engine import WorkDepthTracker
+from .parallel.scheduler import BrentScheduler
+from .static_kcore.approx import approx_coreness_static
+from .static_kcore.exact import ParallelExactKCore, exact_coreness, max_coreness
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_edges(args) -> tuple[str, list[tuple[int, int]]]:
+    if args.edges:
+        return args.edges, read_edge_list(args.edges)
+    suite = {d.paper_name: d for d in dataset_suite(scale=args.scale, seed=42)}
+    if args.dataset not in suite:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; choose from {sorted(suite)}"
+        )
+    spec = suite[args.dataset]
+    return spec.name, spec.edges
+
+
+def _n_hint(edges) -> int:
+    return max((max(e) for e in edges), default=1) + 1
+
+
+def cmd_datasets(args) -> int:
+    print(f"{'dataset':16s} {'paper name':14s} {'vertices':>9s} {'edges':>9s} "
+          f"{'max k':>6s}  regime")
+    for d in dataset_suite(scale=args.scale, seed=42):
+        k = max_coreness(exact_coreness(d.edges))
+        print(
+            f"{d.name:16s} {d.paper_name:14s} {d.num_vertices:9d} "
+            f"{d.num_edges:9d} {k:6d}  {d.regime}"
+        )
+    return 0
+
+
+def cmd_kcore(args) -> int:
+    name, edges = _load_edges(args)
+    batch = args.batch_size or max(1, len(edges) // 4)
+    print(
+        f"{name}: {len(edges)} edges | algorithm={args.algorithm} "
+        f"protocol={args.protocol} batch={batch}"
+    )
+    res = run_protocol(
+        lambda: make_adapter(
+            args.algorithm, _n_hint(edges), delta=args.delta, lam=args.lam
+        ),
+        edges,
+        args.protocol,
+        batch,
+        max_batches=args.max_batches,
+    )
+    print(f"  batches processed : {len(res.batches)}")
+    print(f"  avg work / batch  : {res.avg_work:.0f}")
+    print(f"  avg depth / batch : {res.avg_depth:.0f}")
+    print(f"  avg wall / batch  : {res.avg_wall * 1e3:.2f} ms")
+    if res.errors is not None and res.errors.vertices_measured:
+        print(f"  error ratio       : avg {res.errors.average:.3f}, "
+              f"max {res.errors.maximum:.3f}")
+    print(f"  structure space   : {res.space_bytes} bytes")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .bench.harness import ALL_KEYS
+
+    name, edges = _load_edges(args)
+    batch = args.batch_size or max(1, len(edges) // 4)
+    sched = BrentScheduler()
+    keys = ALL_KEYS if args.include_static else ALGORITHM_KEYS
+    print(
+        f"{name}: {len(edges)} edges | protocol={args.protocol} batch={batch} "
+        f"| simulated time at {args.threads} threads (sequential at 1)"
+    )
+    print(f"{'algorithm':11s} {'sim time':>12s} {'work':>12s} {'depth':>10s} "
+          f"{'avg err':>8s} {'max err':>8s}")
+    for key in keys:
+        res = run_protocol(
+            lambda k=key: make_adapter(k, _n_hint(edges)),
+            edges,
+            args.protocol,
+            batch,
+            max_batches=args.max_batches,
+        )
+        p = 1 if key in SEQUENTIAL_KEYS else args.threads
+        t = sched.time(res.total_cost, p) / max(1, len(res.batches))
+        err = res.errors
+        avg = f"{err.average:.2f}" if err and err.vertices_measured else "-"
+        mx = f"{err.maximum:.2f}" if err and err.vertices_measured else "-"
+        print(
+            f"{key:11s} {t:12.0f} {res.total_cost.work:12d} "
+            f"{res.total_cost.depth:10d} {avg:>8s} {mx:>8s}"
+        )
+    return 0
+
+
+def cmd_scalability(args) -> int:
+    name, edges = _load_edges(args)
+    batch = args.batch_size or max(1, len(edges) // 3)
+    sched = BrentScheduler(hyperthread_cores=30, hyperthread_yield=0.35)
+    parallel = [k for k in ALGORITHM_KEYS if k not in SEQUENTIAL_KEYS]
+    costs = {}
+    for key in parallel:
+        res = run_protocol(
+            lambda k=key: make_adapter(k, _n_hint(edges)),
+            edges,
+            "ins",
+            batch,
+        )
+        costs[key] = res.total_cost
+    print(f"{name}: Ins, batch={batch} — self-relative speedup")
+    print("threads  " + "  ".join(f"{k:>8s}" for k in parallel))
+    for p in (1, 2, 4, 8, 15, 30, 60):
+        row = "  ".join(f"{sched.speedup(costs[k], p):7.2f}x" for k in parallel)
+        print(f"{p:7d}  {row}")
+    return 0
+
+
+def cmd_static(args) -> int:
+    name, edges = _load_edges(args)
+    sched = BrentScheduler()
+    t_e = WorkDepthTracker()
+    exact = ParallelExactKCore(t_e).run(edges)
+    t_a = WorkDepthTracker()
+    approx = approx_coreness_static(edges, eps=args.eps, tracker=t_a)
+    print(f"{name}: {len(edges)} edges")
+    print(f"{'':16s} {'rounds':>7s} {'work':>10s} {'depth':>8s} {'T60':>10s}")
+    print(f"{'ExactKCore':16s} {exact.rounds:7d} {t_e.work:10d} "
+          f"{t_e.depth:8d} {sched.time(t_e.cost, 60):10.0f}")
+    print(f"{'ApproxKCore':16s} {approx.rounds:7d} {t_a.work:10d} "
+          f"{t_a.depth:8d} {sched.time(t_a.cost, 60):10.0f}")
+    ref = exact.coreness
+    worst = 1.0
+    for v, k in ref.items():
+        if k == 0:
+            continue
+        est = approx.estimates[v]
+        worst = max(worst, max(est / k, k / est))
+    print(f"approx max error ratio: {worst:.3f}")
+    return 0
+
+
+def cmd_adversary(args) -> int:
+    from .baselines.zhang import ZhangExactDynamic
+    from .core.plds import PLDS
+    from .graphs import adversarial
+
+    generators = {
+        "cycle": lambda: adversarial.cycle_toggle(args.size, args.rounds),
+        "cascade": lambda: adversarial.cascade_chain(args.size, args.rounds),
+        "clique": lambda: adversarial.clique_pulse(
+            max(3, args.size), args.rounds
+        ),
+        "star": lambda: adversarial.star_pulse(args.size, args.rounds),
+    }
+    initial, batches = generators[args.workload]()
+    n_hint = max((max(e) for e in initial), default=1) + 2
+    print(
+        f"workload={args.workload} size={args.size} rounds={args.rounds} "
+        f"({len(initial)} initial edges, {len(batches)} batches)"
+    )
+    plds = PLDS(n_hint=n_hint)
+    plds.insert_edges(initial)
+    base = plds.tracker.work
+    for b in batches:
+        plds.update(b)
+    violations = plds.check_invariants()
+    print(f"  PLDS  work/batch : {(plds.tracker.work - base) / len(batches):.0f}"
+          f"   invariants {'OK' if not violations else 'VIOLATED'}")
+
+    zhang = ZhangExactDynamic()
+    zhang.initialize(initial)
+    base = zhang.tracker.work
+    for b in batches:
+        zhang.update(b)
+    print(f"  Zhang work/batch : {(zhang.tracker.work - base) / len(batches):.0f}"
+          f"   (exact maintenance)")
+    return 0
+
+
+def cmd_window(args) -> int:
+    from .bench.metrics import error_stats
+    from .core.plds import PLDS
+    from .graphs.streams import sliding_window_batches
+
+    name, edges = _load_edges(args)
+    window = args.window or max(10, len(edges) // 3)
+    batch = args.batch_size or max(1, window // 5)
+    print(f"{name}: sliding window={window}, batch={batch}")
+    plds = PLDS(n_hint=_n_hint(edges), group_shrink=50)
+    live: set = set()
+    batches = sliding_window_batches(edges, window, batch)
+    for i, b in enumerate(batches):
+        before = plds.tracker.work
+        plds.update(b)
+        live |= set(b.insertions)
+        live -= set(b.deletions)
+        if i % max(1, len(batches) // 8) == 0 or i == len(batches) - 1:
+            stats = error_stats(
+                plds.coreness_estimates(), exact_coreness(sorted(live))
+            )
+            print(
+                f"  batch {i + 1:4d}: live={len(live):6d} "
+                f"work={plds.tracker.work - before:7d} "
+                f"err avg={stats.average:.2f} max={stats.maximum:.2f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch-dynamic k-core decomposition (SPAA 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input(p):
+        p.add_argument("--dataset", default="dblp",
+                       help="analog dataset paper-name (see `repro datasets`)")
+        p.add_argument("--edges", default=None,
+                       help="path to a whitespace edge-list file (overrides --dataset)")
+        p.add_argument("--scale", type=float, default=0.3,
+                       help="analog dataset scale factor")
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="updates per batch (default: m/4)")
+        p.add_argument("--max-batches", type=int, default=None)
+
+    p = sub.add_parser("datasets", help="list the analog dataset suite")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("kcore", help="run one dynamic k-core algorithm")
+    add_input(p)
+    p.add_argument("--algorithm", choices=ALGORITHM_KEYS, default="pldsopt")
+    p.add_argument("--protocol", choices=("ins", "del", "mix"), default="ins")
+    p.add_argument("--delta", type=float, default=0.4)
+    p.add_argument("--lam", type=float, default=3.0)
+    p.set_defaults(fn=cmd_kcore)
+
+    p = sub.add_parser("compare", help="run all algorithms side by side")
+    add_input(p)
+    p.add_argument("--protocol", choices=("ins", "del", "mix"), default="ins")
+    p.add_argument("--threads", type=int, default=60)
+    p.add_argument(
+        "--include-static", action="store_true",
+        help="also rerun the static algorithms per batch (Fig. 11 style)",
+    )
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("scalability", help="simulated speedup curves")
+    add_input(p)
+    p.set_defaults(fn=cmd_scalability)
+
+    p = sub.add_parser("static", help="static exact vs approximate k-core")
+    add_input(p)
+    p.add_argument("--eps", type=float, default=0.5)
+    p.set_defaults(fn=cmd_static)
+
+    p = sub.add_parser("adversary", help="run an adversarial toggle workload")
+    p.add_argument(
+        "--workload", choices=("cycle", "cascade", "clique", "star"),
+        default="cycle",
+    )
+    p.add_argument("--size", type=int, default=100)
+    p.add_argument("--rounds", type=int, default=5)
+    p.set_defaults(fn=cmd_adversary)
+
+    p = sub.add_parser("window", help="sliding-window temporal monitoring")
+    add_input(p)
+    p.add_argument("--window", type=int, default=None)
+    p.set_defaults(fn=cmd_window)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # output piped into e.g. `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

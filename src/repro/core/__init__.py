@@ -1,0 +1,32 @@
+"""The paper's primary contribution: PLDS and the sequential LDS baseline."""
+
+from .densest import charikar_peel, densest_subgraph_estimate
+from .invariants import (
+    approximation_violations,
+    plds_invariant_violations,
+    structure_matches_edges,
+)
+from .lds import LDS
+from .orientation import (
+    degeneracy,
+    is_acyclic_orientation,
+    max_out_degree,
+    out_degrees,
+)
+from .plds import PLDS, DirectedEdge, UpdateResult
+
+__all__ = [
+    "PLDS",
+    "charikar_peel",
+    "densest_subgraph_estimate",
+    "LDS",
+    "DirectedEdge",
+    "UpdateResult",
+    "approximation_violations",
+    "plds_invariant_violations",
+    "structure_matches_edges",
+    "degeneracy",
+    "is_acyclic_orientation",
+    "max_out_degree",
+    "out_degrees",
+]

@@ -1,0 +1,98 @@
+"""Sequential Level Data Structure (LDS) baseline.
+
+The classic sequential level structures of Bhattacharya et al. [13] and
+Henzinger et al. [47] (paper Section 5.2), augmented with the paper's
+coreness-estimation rule (Section 5.6) — this is exactly the paper's *LDS*
+baseline implementation.
+
+The difference from the PLDS is the movement discipline: vertices move
+**one level at a time**, cascading one vertex at a time.  In particular a
+deletion can trigger the repeated one-level cascades of the paper's
+Figure 4, whereas the PLDS computes a desire-level and moves each vertex
+exactly once.  Sharing the underlying structures with :class:`PLDS` makes
+the comparison apples-to-apples.
+
+Being sequential, its simulated running time is its *work*; the metered
+depth equals the work.
+"""
+
+from __future__ import annotations
+
+from ..graphs.streams import Batch
+from .plds import PLDS, UpdateResult
+
+__all__ = ["LDS"]
+
+
+class LDS(PLDS):
+    """Sequential level data structure with single-edge-update semantics.
+
+    Accepts batches for interface compatibility, but processes the updates
+    one edge at a time (there is no intra-batch parallelism to exploit).
+    """
+
+    def update(self, batch: Batch) -> UpdateResult:
+        self._validate_batch(batch)
+        result = UpdateResult()
+        self._touched = set()
+
+        if self.track_orientation:
+            for e in batch.deletions:
+                d = self._orient.get(e)
+                if d is None:
+                    d = self.orientation_of(*e)
+                result.oriented_deletions.append(d)
+                self._orient.pop(e, None)
+
+        moved: set[int] = set()
+        for u, v in batch.insertions:
+            self._insert_edge_struct(u, v)
+            self.tracker.add(work=2, depth=2)
+            self._fix_insertion_cascade({u, v}, moved)
+        for u, v in batch.deletions:
+            self._delete_edge_struct(u, v)
+            self.tracker.add(work=2, depth=2)
+            self._fix_deletion_cascade({u, v}, moved)
+        result.moved_vertices = moved
+
+        if self.track_orientation:
+            self._finish_orientation(batch, result)
+        self._maybe_rebuild()
+        return result
+
+    # -- cascades (sequential: depth is charged equal to work) ----------
+
+    def _fix_insertion_cascade(self, seeds: set[int], moved: set[int]) -> None:
+        queue = set(seeds)
+        while queue:
+            v = queue.pop()
+            rec = self._vertices.get(v)
+            if rec is None:
+                continue
+            while len(rec.up) > self.inv1_bound(rec.level):
+                before = self.tracker.work
+                marked = self._move_up(v)
+                # sequential: the move contributes its work to the depth too
+                self.tracker.add(work=0, depth=self.tracker.work - before)
+                moved.add(v)
+                queue.update(marked)
+
+    def _fix_deletion_cascade(self, seeds: set[int], moved: set[int]) -> None:
+        queue = set(seeds)
+        while queue:
+            v = queue.pop()
+            rec = self._vertices.get(v)
+            if rec is None or rec.level == 0:
+                continue
+            descended = False
+            while rec.level > 0:
+                up_star = len(rec.up) + len(rec.down.get(rec.level - 1, ()))
+                if up_star >= self.inv2_threshold(rec.level):
+                    break
+                before = self.tracker.work
+                weakened = self._move_down(v, rec.level - 1)
+                self.tracker.add(work=0, depth=self.tracker.work - before)
+                descended = True
+                queue.update(weakened)
+            if descended:
+                moved.add(v)

@@ -1,0 +1,92 @@
+"""Low out-degree orientation helpers (Section 5.7, Corollary 3.3).
+
+The orientation itself is maintained inside :class:`~repro.core.plds.PLDS`
+(edges point from lower to higher levels, ties toward the larger index —
+``PLDS.orientation_of`` / ``PLDS.out_neighbors``).  This module provides
+the verification and measurement utilities used by tests and benchmarks:
+acyclicity, maximum out-degree, and the degeneracy yardstick the
+``O(α)``-out-degree guarantee is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "is_acyclic_orientation",
+    "max_out_degree",
+    "out_degrees",
+    "degeneracy",
+]
+
+
+def out_degrees(directed_edges: Iterable[tuple[int, int]]) -> dict[int, int]:
+    """Out-degree of every vertex appearing in the directed edge list."""
+    deg: dict[int, int] = {}
+    for u, v in directed_edges:
+        deg[u] = deg.get(u, 0) + 1
+        deg.setdefault(v, 0)
+    return deg
+
+
+def max_out_degree(directed_edges: Iterable[tuple[int, int]]) -> int:
+    return max(out_degrees(directed_edges).values(), default=0)
+
+
+def is_acyclic_orientation(directed_edges: Iterable[tuple[int, int]]) -> bool:
+    """True iff the directed graph has no directed cycle (Kahn's algorithm)."""
+    adj: dict[int, list[int]] = {}
+    indeg: dict[int, int] = {}
+    for u, v in directed_edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, [])
+        indeg[v] = indeg.get(v, 0) + 1
+        indeg.setdefault(u, 0)
+    stack = [v for v, d in indeg.items() if d == 0]
+    seen = 0
+    while stack:
+        u = stack.pop()
+        seen += 1
+        for w in adj[u]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                stack.append(w)
+    return seen == len(adj)
+
+
+def degeneracy(edges: Iterable[tuple[int, int]]) -> int:
+    """Degeneracy d of the undirected graph (== max core number).
+
+    Computed by min-degree peeling.  The arboricity α satisfies
+    ``d/2 <= α <= d`` (paper footnote 1), so ``d`` is the yardstick for the
+    ``O(α)``-out-degree guarantee.
+    """
+    adj: dict[int, set[int]] = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    if not adj:
+        return 0
+    # Bucket queue peeling: O(n + m).
+    deg = {v: len(nbrs) for v, nbrs in adj.items()}
+    maxdeg = max(deg.values())
+    buckets: list[set[int]] = [set() for _ in range(maxdeg + 1)]
+    for v, d in deg.items():
+        buckets[d].add(v)
+    removed: set[int] = set()
+    d_val = 0
+    cur = 0
+    for _ in range(len(adj)):
+        while cur <= maxdeg and not buckets[cur]:
+            cur += 1
+        v = buckets[cur].pop()
+        removed.add(v)
+        d_val = max(d_val, cur)
+        for w in adj[v]:
+            if w in removed:
+                continue
+            buckets[deg[w]].discard(w)
+            deg[w] -= 1
+            buckets[deg[w]].add(w)
+            cur = min(cur, deg[w])
+    return d_val

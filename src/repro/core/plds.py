@@ -1,0 +1,1048 @@
+"""Parallel Level Data Structure (PLDS) — the paper's core contribution.
+
+Implements Section 5 of Liu, Shi, Yu, Dhulipala, Shun (SPAA 2022):
+
+- the level/group structure with Invariant 1 (degree upper bound) and
+  Invariant 2 (degree lower bound);
+- ``Update`` (Algorithm 1) splitting a batch into insertions and deletions;
+- ``RebalanceInsertions`` (Algorithm 2): level-by-level upward movement of
+  marked vertices, processing each level exactly once (Lemma 5.5);
+- ``RebalanceDeletions`` (Algorithm 3): desire-level computation and
+  single-shot downward moves (Lemma 5.6);
+- ``CalculateDesireLevel`` (Algorithm 4): cost-equivalent scan for the
+  closest level satisfying both invariants;
+- coreness estimation (Definition 5.11, Lemmas 5.12/5.13) giving a
+  ``(1+δ)(2+3/λ)``-factor — i.e. ``(2+ε)`` — approximation;
+- low out-degree orientation maintenance (Algorithm 5, Section 5.7).
+
+Parallelism is *simulated*: vertex moves within a level execute
+sequentially in a canonical order (equivalent by the paper's Lemma 5.9)
+while their work/depth is metered by a
+:class:`~repro.parallel.engine.WorkDepthTracker` using the parallel
+composition rules.
+
+Two configurations matter experimentally (Section 6):
+
+- **PLDS**: ``4⌈log_{1+δ} n⌉`` levels per group (the theoretical
+  structure, default);
+- **PLDSOpt**: levels per group divided by ``group_shrink=50``, trading a
+  slightly worse approximation bound for large constant-factor speedups.
+
+Example
+-------
+>>> from repro.core.plds import PLDS
+>>> from repro.graphs.streams import Batch
+>>> plds = PLDS(n_hint=100)
+>>> plds.update(Batch(insertions=[(0, 1), (1, 2), (0, 2)]))  # a triangle
+>>> plds.coreness_estimate(0) >= 1
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..graphs.dynamic_graph import canonical_edge
+from ..graphs.streams import Batch
+from ..parallel.engine import WorkDepthTracker
+from ..parallel.hashtable import LOG_STAR_DEPTH
+from ..parallel.primitives import log2_ceil
+
+__all__ = ["PLDS", "UpdateResult", "DirectedEdge"]
+
+#: A directed edge (tail, head): oriented tail -> head.
+DirectedEdge = tuple[int, int]
+
+
+@dataclass
+class UpdateResult:
+    """What :meth:`PLDS.update` reports about one batch (Algorithm 5).
+
+    Attributes
+    ----------
+    flipped:
+        Edges whose orientation changed, as directed edges giving the
+        orientation *before* the flip.
+    oriented_insertions:
+        The batch's inserted edges, directed per the *post-batch*
+        orientation.
+    oriented_deletions:
+        The batch's deleted edges, directed per the *pre-batch*
+        orientation.
+    moved_vertices:
+        Vertices whose level changed while processing the batch.
+    """
+
+    flipped: list[DirectedEdge] = field(default_factory=list)
+    oriented_insertions: list[DirectedEdge] = field(default_factory=list)
+    oriented_deletions: list[DirectedEdge] = field(default_factory=list)
+    moved_vertices: set[int] = field(default_factory=set)
+
+
+class _VertexRecord:
+    """Per-vertex PLDS state.
+
+    ``up`` holds neighbors at levels >= the vertex's level (the paper's
+    ``U[v]``); ``down`` maps each lower level ``j`` to the set of neighbors
+    there (the paper's ``L_v[j]``; only non-empty levels are stored, which
+    realizes the space-efficient variant of Section 5.8).
+    """
+
+    __slots__ = ("level", "up", "down")
+
+    def __init__(self) -> None:
+        self.level = 0
+        self.up: set[int] = set()
+        self.down: dict[int, set[int]] = {}
+
+    def degree(self) -> int:
+        return len(self.up) + sum(len(s) for s in self.down.values())
+
+    def neighbors(self) -> Iterator[int]:
+        yield from self.up
+        for s in self.down.values():
+            yield from s
+
+
+class PLDS:
+    """Batch-dynamic ``(2+ε)``-approximate k-core decomposition.
+
+    Parameters
+    ----------
+    n_hint:
+        Expected upper bound on the number of vertices; sizes the level
+        structure (``K = O(log² n)`` levels).  The structure rebuilds
+        automatically if the live vertex count exceeds it.
+    delta:
+        The ``δ > 0`` constant: group ``i`` thresholds scale as
+        ``(1+δ)^i``.  Default 0.4 (the paper's experimental default).
+    lam:
+        The ``λ > 0`` constant in the Invariant-1 coefficient
+        ``(2 + 3/λ)``.  Default 3 (paper default; max error bound
+        ``(1+δ)(2+3/λ) = 4.2``).
+    group_shrink:
+        Divide the theoretical levels-per-group by this factor
+        (PLDSOpt uses 50; Section 6.1).  1 = exact theoretical structure.
+    upper_coeff:
+        Override the Invariant-1 coefficient (the paper's *heuristic
+        parameters* replace ``2 + 3/λ`` with 1.1, forfeiting the proofs
+        but improving empirical error; Section 6.2).
+    tracker:
+        Work-depth meter; a private one is created if omitted.
+    track_orientation:
+        Maintain the edge-orientation hash table ``H`` and report flips
+        (Algorithm 5).  Required by the Section-8 framework; off by
+        default since plain coreness queries do not need it.
+    insertion_strategy:
+        ``"levelwise"`` (default) follows Algorithm 2 exactly: violating
+        vertices rise one level per level-iteration.  ``"jump"`` applies
+        the implementation optimization of Section 6.1: each violating
+        vertex computes its upward desire-level directly (the first
+        higher level satisfying Invariant 1) and moves there in one step
+        — asymptotically the same, practically much faster.
+    structure:
+        Which of the paper's data-structure variants to model
+        (Section 5.8).  All three compute identical results; they differ
+        in the metered depth of per-level bookkeeping and in space:
+
+        - ``"randomized"`` — parallel hash tables: O(log* n) depth,
+          O(n log² n + m) space (default; the paper's implementation);
+        - ``"deterministic"`` — dynamic arrays: O(log n) worst-case
+          depth per level, O(n log² n + m) space;
+        - ``"space_efficient"`` — per-level linked lists: O(log² n)
+          depth per level, O(n + m) space.
+    """
+
+    #: per-variant (depth-charge-fn, charges-level-slots) table; the
+    #: depth charge is applied per batched structure mutation.
+    _STRUCTURES = ("randomized", "deterministic", "space_efficient")
+
+    def __init__(
+        self,
+        n_hint: int,
+        delta: float = 0.4,
+        lam: float = 3.0,
+        group_shrink: int = 1,
+        upper_coeff: float | None = None,
+        tracker: WorkDepthTracker | None = None,
+        track_orientation: bool = False,
+        insertion_strategy: str = "levelwise",
+        structure: str = "randomized",
+    ) -> None:
+        if n_hint < 2:
+            n_hint = 2
+        if delta <= 0:
+            raise ValueError("delta must be > 0")
+        if lam <= 0:
+            raise ValueError("lambda must be > 0")
+        if group_shrink < 1:
+            raise ValueError("group_shrink must be >= 1")
+        if insertion_strategy not in ("levelwise", "jump"):
+            raise ValueError("insertion_strategy must be 'levelwise' or 'jump'")
+        if structure not in self._STRUCTURES:
+            raise ValueError(f"structure must be one of {self._STRUCTURES}")
+        self.n_hint = n_hint
+        self.delta = delta
+        self.lam = lam
+        self.group_shrink = group_shrink
+        self.upper_coeff = (2.0 + 3.0 / lam) if upper_coeff is None else upper_coeff
+        self.tracker = tracker if tracker is not None else WorkDepthTracker()
+        self.track_orientation = track_orientation
+        self.insertion_strategy = insertion_strategy
+        self.structure = structure
+
+        log_base = math.log(n_hint) / math.log(1.0 + delta)
+        #: levels per group: 4⌈log_{1+δ} n⌉, divided by group_shrink for Opt.
+        self.levels_per_group = max(1, math.ceil(4 * math.ceil(log_base) / group_shrink))
+        #: groups: enough that the top group's Invariant-1 bound exceeds 2n.
+        self.num_groups = math.ceil(log_base) + 2
+        #: K — total number of levels.
+        self.num_levels = self.levels_per_group * self.num_groups
+
+        self._vertices: dict[int, _VertexRecord] = {}
+        self._m = 0
+        #: vertex insert/delete counter for the Section-5.9 rebuild policy.
+        self._vertex_updates = 0
+        #: orientation table H: canonical edge -> directed edge (tail, head).
+        self._orient: dict[tuple[int, int], DirectedEdge] = {}
+        #: edges whose endpoints' relative order may have changed this batch.
+        self._touched: set[tuple[int, int]] = set()
+
+        # Per-mutation depth charge of the selected structure variant
+        # (Section 5.8): hash tables O(log* n); dynamic arrays pay an
+        # O(log n) resize/offset computation; per-level linked lists pay a
+        # linear search over the O(log² n) list nodes.
+        if structure == "randomized":
+            self._mut_depth = LOG_STAR_DEPTH
+        elif structure == "deterministic":
+            self._mut_depth = log2_ceil(n_hint) + 1
+        else:  # space_efficient
+            self._mut_depth = max(LOG_STAR_DEPTH, self.num_levels // 4 + 1)
+
+        # Precompute per-level thresholds (floats).
+        self._inv1_bound = [
+            self.upper_coeff * (1.0 + delta) ** self.group_number(l)
+            for l in range(self.num_levels)
+        ]
+        self._inv2_thresh = [0.0] + [
+            (1.0 + delta) ** self.group_number(l - 1)
+            for l in range(1, self.num_levels)
+        ]
+
+    # ------------------------------------------------------------------
+    # Level/group arithmetic
+    # ------------------------------------------------------------------
+
+    def group_number(self, level: int) -> int:
+        """``gn(ℓ)``: index of the group containing ``level``."""
+        return level // self.levels_per_group
+
+    def inv1_bound(self, level: int) -> float:
+        """Invariant-1 upper bound ``(2+3/λ)(1+δ)^{gn(ℓ)}`` at ``level``."""
+        return self._inv1_bound[level]
+
+    def inv2_threshold(self, level: int) -> float:
+        """Invariant-2 lower bound ``(1+δ)^{gn(ℓ-1)}`` for a vertex at ``level``."""
+        return self._inv2_thresh[level]
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def level(self, v: int) -> int:
+        """Current level ``ℓ(v)`` (0 for unknown/isolated vertices)."""
+        rec = self._vertices.get(v)
+        return rec.level if rec is not None else 0
+
+    def up_degree(self, v: int) -> int:
+        """``up(v)``: number of neighbors at levels >= ``ℓ(v)``."""
+        rec = self._vertices.get(v)
+        return len(rec.up) if rec is not None else 0
+
+    def up_star_degree(self, v: int) -> int:
+        """``up*(v)``: number of neighbors at levels >= ``ℓ(v) - 1``."""
+        rec = self._vertices.get(v)
+        if rec is None:
+            return 0
+        below = rec.down.get(rec.level - 1)
+        return len(rec.up) + (len(below) if below else 0)
+
+    def degree(self, v: int) -> int:
+        rec = self._vertices.get(v)
+        return rec.degree() if rec is not None else 0
+
+    def neighbors(self, v: int) -> list[int]:
+        rec = self._vertices.get(v)
+        return list(rec.neighbors()) if rec is not None else []
+
+    def has_edge(self, u: int, v: int) -> bool:
+        ru = self._vertices.get(u)
+        rv = self._vertices.get(v)
+        if ru is None or rv is None:
+            return False
+        if rv.level >= ru.level:
+            return v in ru.up
+        return v in ru.down.get(rv.level, ())
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._vertices)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All edges in canonical form."""
+        for v, rec in self._vertices.items():
+            for w in rec.neighbors():
+                if v < w:
+                    yield (v, w)
+
+    # ------------------------------------------------------------------
+    # Coreness estimation (Definition 5.11)
+    # ------------------------------------------------------------------
+
+    def coreness_estimate(self, v: int) -> float:
+        """``k̂(v) = (1+δ)^{max(⌊(ℓ(v)+1)/levels_per_group⌋ - 1, 0)}``.
+
+        Degree-0 vertices (necessarily at level 0) estimate 0, matching the
+        paper's experimental convention (Section 6.2).
+        """
+        rec = self._vertices.get(v)
+        if rec is None or rec.degree() == 0:
+            return 0.0
+        exponent = max((rec.level + 1) // self.levels_per_group - 1, 0)
+        return (1.0 + self.delta) ** exponent
+
+    def coreness_estimates(self) -> dict[int, float]:
+        """Estimates for every vertex the structure has seen."""
+        return {v: self.coreness_estimate(v) for v in self._vertices}
+
+    def approximation_factor(self) -> float:
+        """The provable max error ratio ``(2+3/λ)(1+δ)`` (Lemma 5.13).
+
+        Only a guarantee for ``group_shrink == 1`` (PLDSOpt trades the
+        proof for speed; Section 6.1).
+        """
+        return self.upper_coeff * (1.0 + self.delta)
+
+    # ------------------------------------------------------------------
+    # Orientation (Section 5.7, Algorithm 5)
+    # ------------------------------------------------------------------
+
+    def orientation_of(self, u: int, v: int) -> DirectedEdge:
+        """Current orientation of edge {u, v}: lower level -> higher level,
+        ties broken toward the larger index (smaller index is the tail)."""
+        lu, lv = self.level(u), self.level(v)
+        if lu < lv or (lu == lv and u < v):
+            return (u, v)
+        return (v, u)
+
+    def out_neighbors(self, v: int) -> list[int]:
+        """Neighbors w with edge oriented v -> w; all live in ``U[v]``."""
+        rec = self._vertices.get(v)
+        if rec is None:
+            return []
+        lv = rec.level
+        out = []
+        for w in rec.up:
+            lw = self._vertices[w].level
+            if lw > lv or (lw == lv and v < w):
+                out.append(w)
+        return out
+
+    def out_degree(self, v: int) -> int:
+        return len(self.out_neighbors(v))
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """Neighbors w with edge oriented w -> v."""
+        rec = self._vertices.get(v)
+        if rec is None:
+            return []
+        lv = rec.level
+        inn = []
+        for w in rec.neighbors():
+            lw = self._vertices[w].level
+            if lw < lv or (lw == lv and w < v):
+                inn.append(w)
+        return inn
+
+    def oriented_edges(self) -> Iterator[DirectedEdge]:
+        for u, v in self.edges():
+            yield self.orientation_of(u, v)
+
+    # ------------------------------------------------------------------
+    # Vertex updates (Section 5.9)
+    # ------------------------------------------------------------------
+
+    def insert_vertices(self, vs: Iterable[int]) -> None:
+        """Insert zero-degree vertices (placed at level 0)."""
+        count = 0
+        for v in vs:
+            if v not in self._vertices:
+                count += 1
+            self._record(v)
+        self._vertex_updates += count
+        self._maybe_rebuild()
+
+    def delete_vertices(self, vs: Iterable[int]) -> UpdateResult:
+        """Delete vertices: all incident edges become one deletion batch."""
+        vs = set(vs)
+        dels: list[tuple[int, int]] = []
+        for v in vs:
+            rec = self._vertices.get(v)
+            if rec is None:
+                continue
+            for w in rec.neighbors():
+                e = canonical_edge(v, w)
+                if e[0] in vs and e[1] in vs and e[0] != v:
+                    continue  # count each intra-set edge once
+                dels.append(e)
+        result = self.update(Batch(deletions=dels))
+        for v in vs:
+            if self._vertices.pop(v, None) is not None:
+                self._vertex_updates += 1
+        self._maybe_rebuild()
+        return result
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: Update
+    # ------------------------------------------------------------------
+
+    def update(self, batch: Batch) -> UpdateResult:
+        """Apply a batch of unique, valid edge updates (Algorithm 1).
+
+        Insertions are rebalanced first (Algorithm 2), then deletions
+        (Algorithm 3); orientation changes are derived afterwards
+        (Algorithm 5).  Returns an :class:`UpdateResult`.
+
+        The batch is validated up front (uniqueness, validity, and
+        insert/delete disjointness — the Section-8 assumptions), so an
+        invalid batch raises ``ValueError`` *before* any mutation; use
+        :func:`repro.graphs.streams.preprocess_batch` to clean raw
+        streams.
+        """
+        self._validate_batch(batch)
+        result = UpdateResult()
+        self._touched = set()
+
+        # Pre-batch orientations of deleted edges (Algorithm 5: deletions
+        # report the orientation *before* the batch).
+        if self.track_orientation:
+            for e in batch.deletions:
+                d = self._orient.get(e)
+                if d is None:
+                    d = self.orientation_of(*e)
+                result.oriented_deletions.append(d)
+                self._orient.pop(e, None)
+
+        moved: set[int] = set()
+        if batch.insertions:
+            self._rebalance_insertions(batch.insertions, moved)
+        if batch.deletions:
+            self._rebalance_deletions(batch.deletions, moved)
+        result.moved_vertices = moved
+
+        if self.track_orientation:
+            self._finish_orientation(batch, result)
+        self._maybe_rebuild()
+        return result
+
+    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> UpdateResult:
+        """Convenience wrapper: one insertion-only batch."""
+        return self.update(Batch(insertions=[canonical_edge(*e) for e in edges]))
+
+    def delete_edges(self, edges: Iterable[tuple[int, int]]) -> UpdateResult:
+        """Convenience wrapper: one deletion-only batch."""
+        return self.update(Batch(deletions=[canonical_edge(*e) for e in edges]))
+
+    def _validate_batch(self, batch: Batch) -> None:
+        """Check the Section-8 batch assumptions before mutating anything."""
+        self.tracker.add(work=max(1, len(batch)), depth=5)
+        ins = set()
+        for u, v in batch.insertions:
+            if u == v:
+                raise ValueError(f"self-loop ({u},{v}) in batch")
+            e = canonical_edge(u, v)
+            if e in ins:
+                raise ValueError(f"duplicate insertion {e} in batch")
+            if self.has_edge(*e):
+                raise ValueError(f"insertion of existing edge {e}")
+            ins.add(e)
+        dels = set()
+        for u, v in batch.deletions:
+            e = canonical_edge(u, v)
+            if e in dels:
+                raise ValueError(f"duplicate deletion {e} in batch")
+            if e in ins:
+                raise ValueError(f"edge {e} both inserted and deleted in batch")
+            if not self.has_edge(*e):
+                raise ValueError(f"deletion of missing edge {e}")
+            dels.add(e)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: RebalanceInsertions
+    # ------------------------------------------------------------------
+
+    def _rebalance_insertions(
+        self, insertions: list[tuple[int, int]], moved: set[int]
+    ) -> None:
+        tracker = self.tracker
+        # Insert all edges into the structures (parallel hash inserts).
+        dirty: dict[int, set[int]] = {}
+        tracker.add(work=2 * len(insertions), depth=self._mut_depth)
+        for u, v in insertions:
+            self._insert_edge_struct(u, v)
+            dirty.setdefault(self._vertices[u].level, set()).add(u)
+            dirty.setdefault(self._vertices[v].level, set()).add(v)
+
+        # Process levels bottom-up; Lemma 5.5 guarantees each level is
+        # visited at most once (marks only propagate upward, so min(dirty)
+        # is non-decreasing across iterations).
+        while dirty:
+            level = min(dirty)
+            candidates = dirty.pop(level)
+            tracker.add(work=1, depth=1)  # the level-loop iteration itself
+            movers = [
+                v
+                for v in candidates
+                if self._vertices[v].level == level
+                and len(self._vertices[v].up) > self.inv1_bound(level)
+            ]
+            if not movers:
+                continue
+            jump = self.insertion_strategy == "jump"
+            with tracker.parallel() as par:
+                for v in sorted(movers):
+                    with par.branch():
+                        if jump:
+                            target = self._up_desire_level(v)
+                            newly_marked = self._move_up_to(v, target)
+                        else:
+                            newly_marked = self._move_up(v)
+                        moved.add(v)
+                        rec = self._vertices[v]
+                        if len(rec.up) > self.inv1_bound(rec.level):
+                            newly_marked.append(v)
+                        for w in newly_marked:
+                            dirty.setdefault(self._vertices[w].level, set()).add(w)
+
+    def _move_up(self, v: int) -> list[int]:
+        """Move ``v`` one level up (Algorithm 2's unit step)."""
+        return self._move_up_to(v, self._vertices[v].level + 1)
+
+    def _move_up_to(self, v: int, target: int) -> list[int]:
+        """Move ``v`` up to ``target``, updating all affected structures.
+
+        ``target == old + 1`` is the theoretical Algorithm 2 step; larger
+        jumps implement the Section-6.1 optimization.  Returns the
+        neighbors whose up-degree grew and now violate Invariant 1 (to be
+        marked).  Cost: O(|U[v]|) work, O(log* n) depth.
+        """
+        vertices = self._vertices
+        rec = vertices[v]
+        old = rec.level
+        if target <= old:
+            raise AssertionError("move_up_to requires a strictly higher level")
+        self.tracker.add(work=max(1, len(rec.up)), depth=self._mut_depth)
+        track = self.track_orientation
+        touched = self._touched
+        bounds = self._inv1_bound
+
+        to_down: list[tuple[int, int]] = []
+        newly_marked: list[int] = []
+        for w in rec.up:
+            wrec = vertices[w]
+            lw = wrec.level
+            if lw == old:
+                # w stays below v; v remains in U[w].
+                to_down.append((w, lw))
+                if track:
+                    touched.add((v, w) if v <= w else (w, v))
+            elif lw <= target:
+                # old < lw <= target: v rises into U[w].
+                bucket = wrec.down[old]
+                bucket.discard(v)
+                if not bucket:
+                    del wrec.down[old]
+                wrec.up.add(v)
+                if len(wrec.up) > bounds[lw]:
+                    newly_marked.append(w)
+                if lw < target:
+                    # w is now strictly below v.
+                    to_down.append((w, lw))
+                if track:
+                    touched.add((v, w) if v <= w else (w, v))
+            else:  # lw > target: only w's L-structure shifts.
+                bucket = wrec.down[old]
+                bucket.discard(v)
+                if not bucket:
+                    del wrec.down[old]
+                wrec.down.setdefault(target, set()).add(v)
+        for w, lw in to_down:
+            rec.up.discard(w)
+            rec.down.setdefault(lw, set()).add(w)
+        rec.level = target
+        return newly_marked
+
+    def _up_desire_level(self, v: int) -> int:
+        """First level above ℓ(v) where Invariant 1 holds (Section 6.1).
+
+        ``cnt(j)`` = #neighbors at levels >= j is non-increasing in j
+        while the bound grows, so the first satisfying level is the
+        closest.  Invariant 2 holds there automatically: the level below
+        violated Invariant 1, so ``cnt(j-1) > (2+3/λ)(1+δ)^{gn(j-1)} >=
+        (1+δ)^{gn(j-1)}``.
+        """
+        rec = self._vertices[v]
+        old = rec.level
+        # Histogram the up-neighbor levels once, then walk upward.
+        levels = sorted(
+            (self._vertices[w].level for w in rec.up), reverse=True
+        )
+        cnt = len(levels)
+        j = old
+        while True:
+            j += 1
+            # drop neighbors below level j from the count
+            while cnt > 0 and levels[cnt - 1] < j:
+                cnt -= 1
+            if cnt <= self.inv1_bound(j):
+                break
+        self.tracker.add(
+            work=max(1, len(levels) + (j - old)),
+            depth=log2_ceil(self.num_levels) + 1,
+        )
+        return j
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: RebalanceDeletions
+    # ------------------------------------------------------------------
+
+    def _rebalance_deletions(
+        self, deletions: list[tuple[int, int]], moved: set[int]
+    ) -> None:
+        tracker = self.tracker
+        tracker.add(work=2 * len(deletions), depth=self._mut_depth)
+        affected: set[int] = set()
+        for u, v in deletions:
+            self._delete_edge_struct(u, v)
+            affected.add(u)
+            affected.add(v)
+
+        desire: dict[int, int] = {}
+        pending: dict[int, set[int]] = {}
+
+        def consider(w: int) -> None:
+            rec = self._vertices[w]
+            if rec.level == 0:
+                return
+            up_star = len(rec.up) + len(rec.down.get(rec.level - 1, ()))
+            if up_star < self.inv2_threshold(rec.level):
+                dl = self._calculate_desire_level(w)
+                desire[w] = dl
+                pending.setdefault(dl, set()).add(w)
+
+        with tracker.parallel() as par:
+            for w in sorted(affected):
+                with par.branch():
+                    consider(w)
+
+        # Process levels bottom-up; each vertex moves exactly once
+        # (Lemma 5.6: once level i is done, no vertex desires <= i).
+        #
+        # A stored desire-level can go stale in one way the "weakened"
+        # propagation cannot see: a neighbor later drops below the pending
+        # vertex's *target* level (while staying at/above its current
+        # level minus one).  We therefore revalidate dl(v) at move time;
+        # a changed value re-enqueues the vertex (desire-levels only
+        # decrease during a deletion phase, so this terminates).
+        while pending:
+            level = min(pending)
+            movers = [
+                v
+                for v in pending.pop(level)
+                if desire.get(v) == level and self._vertices[v].level > level
+            ]
+            tracker.add(work=1, depth=1)
+            if not movers:
+                continue
+            with tracker.parallel() as par:
+                for v in sorted(movers):
+                    with par.branch():
+                        fresh = self._calculate_desire_level(v)
+                        if fresh != level:
+                            if fresh < self._vertices[v].level:
+                                desire[v] = fresh
+                                pending.setdefault(fresh, set()).add(v)
+                            else:
+                                desire.pop(v, None)
+                            continue
+                        weakened = self._move_down(v, level)
+                        moved.add(v)
+                        desire.pop(v, None)
+                        for w in weakened:
+                            if desire.get(w) is not None:
+                                # stale pending entry is skipped lazily
+                                desire.pop(w, None)
+                            consider(w)
+
+    def _move_down(self, v: int, new_level: int) -> list[int]:
+        """Move ``v`` down to ``new_level``, updating affected structures.
+
+        Returns neighbors whose ``up*`` decreased (candidates for new
+        Invariant-2 violations).  Cost: O(#neighbors at levels >= new_level)
+        work, O(log* n) depth.
+        """
+        rec = self._vertices[v]
+        old = rec.level
+        if new_level >= old:
+            raise AssertionError("move_down requires a strictly lower level")
+        tracker = self.tracker
+        weakened: list[int] = []
+        ops = len(rec.up)
+
+        # Neighbors formerly above or at v's old level.
+        for w in rec.up:
+            wrec = self._vertices[w]
+            lw = wrec.level
+            if lw == old:
+                wrec.up.discard(v)
+                wrec.down.setdefault(new_level, set()).add(v)
+            else:  # lw > old
+                wrec.down[old].discard(v)
+                if not wrec.down[old]:
+                    del wrec.down[old]
+                wrec.down.setdefault(new_level, set()).add(v)
+            # v left Z_{lw-1} iff new_level < lw - 1 <= old.
+            if new_level < lw - 1 <= old:
+                weakened.append(w)
+            if self.track_orientation and lw <= old:
+                self._touched.add(canonical_edge(v, w))
+
+        # Neighbors between new_level and old-1 move from L_v into U[v].
+        for j in range(new_level, old):
+            bucket = rec.down.pop(j, None)
+            if not bucket:
+                continue
+            ops += len(bucket)
+            for w in bucket:
+                wrec = self._vertices[w]
+                rec.up.add(w)
+                if new_level < wrec.level:
+                    wrec.up.discard(v)
+                    wrec.down.setdefault(new_level, set()).add(v)
+                    if new_level < wrec.level - 1 <= old:
+                        weakened.append(w)
+                if self.track_orientation:
+                    self._touched.add(canonical_edge(v, w))
+
+        rec.level = new_level
+        tracker.add(work=max(1, ops), depth=self._mut_depth)
+        return weakened
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: CalculateDesireLevel
+    # ------------------------------------------------------------------
+
+    def _calculate_desire_level(self, v: int) -> int:
+        """Closest level <= ℓ(v) satisfying both invariants.
+
+        Scans downward accumulating ``cnt(j)`` = #neighbors at levels >= j
+        and returns the *highest* level ``l'`` with
+        ``cnt(l'-1) >= (1+δ)^{gn(l'-1)}`` (or 0 for degree-0 vertices).
+        Invariant 1 holds automatically at that level: by maximality,
+        ``cnt(l') < (1+δ)^{gn(l')} <= (2+3/λ)(1+δ)^{gn(l')}``.
+
+        The scan does the same O(ℓ(v) - dl(v)) work as the paper's
+        doubling-plus-binary-search; we charge the parallel version's
+        O(log K) depth.
+        """
+        rec = self._vertices[v]
+        l = rec.level
+        cnt = len(rec.up)
+        scanned = 1
+        best = 0
+        for lprime in range(l, 0, -1):
+            bucket = rec.down.get(lprime - 1)
+            cnt += len(bucket) if bucket else 0
+            scanned += 1
+            if cnt >= self.inv2_threshold(lprime):
+                best = lprime
+                break
+        self.tracker.add(
+            work=scanned, depth=log2_ceil(self.num_levels) + 1
+        )
+        return best
+
+    # ------------------------------------------------------------------
+    # Structure-level edge insertion/deletion
+    # ------------------------------------------------------------------
+
+    def _record(self, v: int) -> _VertexRecord:
+        rec = self._vertices.get(v)
+        if rec is None:
+            rec = _VertexRecord()
+            self._vertices[v] = rec
+        return rec
+
+    def _insert_edge_struct(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if self.has_edge(u, v):
+            raise ValueError(f"duplicate edge ({u},{v})")
+        ru, rv = self._record(u), self._record(v)
+        if rv.level >= ru.level:
+            ru.up.add(v)
+        else:
+            ru.down.setdefault(rv.level, set()).add(v)
+        if ru.level >= rv.level:
+            rv.up.add(u)
+        else:
+            rv.down.setdefault(ru.level, set()).add(u)
+        self._m += 1
+
+    def _delete_edge_struct(self, u: int, v: int) -> None:
+        if not self.has_edge(u, v):
+            raise ValueError(f"edge ({u},{v}) not present")
+        ru, rv = self._vertices[u], self._vertices[v]
+        if rv.level >= ru.level:
+            ru.up.discard(v)
+        else:
+            ru.down[rv.level].discard(v)
+            if not ru.down[rv.level]:
+                del ru.down[rv.level]
+        if ru.level >= rv.level:
+            rv.up.discard(u)
+        else:
+            rv.down[ru.level].discard(u)
+            if not rv.down[ru.level]:
+                del rv.down[ru.level]
+        self._m -= 1
+
+    # ------------------------------------------------------------------
+    # Orientation upkeep (Algorithm 5)
+    # ------------------------------------------------------------------
+
+    def _finish_orientation(self, batch: Batch, result: UpdateResult) -> None:
+        tracker = self.tracker
+        inserted = set(batch.insertions)
+        tracker.add(
+            work=max(1, len(self._touched) + len(inserted)), depth=self._mut_depth
+        )
+        for e in self._touched:
+            if e in inserted or e not in self._orient:
+                continue
+            if not self.has_edge(*e):
+                continue
+            new_dir = self.orientation_of(*e)
+            old_dir = self._orient[e]
+            if new_dir != old_dir:
+                result.flipped.append(old_dir)
+                self._orient[e] = new_dir
+        for e in inserted:
+            d = self.orientation_of(*e)
+            self._orient[e] = d
+            result.oriented_insertions.append(d)
+        self._touched = set()
+
+    # ------------------------------------------------------------------
+    # Rebuild (Section 5.9) and diagnostics
+    # ------------------------------------------------------------------
+
+    def _maybe_rebuild(self) -> None:
+        # Section 5.9: rebuild once the live vertex count outgrows the
+        # sizing hint, or after n/2 vertex updates have accumulated (the
+        # rebuild cost amortizes to O(log² n) per vertex update).
+        # The hint is sized at twice the vertex count of the last rebuild,
+        # so n_hint // 4 approximates the paper's "n/2 vertex updates".
+        if (
+            len(self._vertices) <= self.n_hint
+            and self._vertex_updates <= max(self.n_hint // 4, 8)
+        ):
+            return
+        edges = list(self.edges())
+        vertices = list(self._vertices)
+        # Resize to the live vertex count (growing or shrinking), so the
+        # level count K tracks the current n as Section 5.9 requires.
+        new_hint = max(2, 2 * len(vertices))
+        self.tracker.add(
+            work=max(1, len(edges) + len(vertices)),
+            depth=log2_ceil(max(2, len(edges))) + 1,
+        )
+        self.__init__(  # noqa: PLC2801 - deliberate in-place re-init
+            n_hint=new_hint,
+            delta=self.delta,
+            lam=self.lam,
+            group_shrink=self.group_shrink,
+            upper_coeff=self.upper_coeff,
+            tracker=self.tracker,
+            track_orientation=self.track_orientation,
+            insertion_strategy=self.insertion_strategy,
+            structure=self.structure,
+        )
+        for v in vertices:  # keep isolated vertices alive at level 0
+            self._record(v)
+        if edges:
+            self.update(Batch(insertions=edges))
+
+    # ------------------------------------------------------------------
+    # Snapshots (persistence for long-running monitors)
+    # ------------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """JSON-serializable snapshot of the full structure state.
+
+        Levels fully determine the structure (the U/L partitions and the
+        orientation are functions of the levels), so the snapshot stores
+        parameters, per-vertex levels, and the edge list.
+        """
+        return {
+            "format": 1,
+            "params": {
+                "n_hint": self.n_hint,
+                "delta": self.delta,
+                "lam": self.lam,
+                "group_shrink": self.group_shrink,
+                "upper_coeff": self.upper_coeff,
+                "track_orientation": self.track_orientation,
+                "insertion_strategy": self.insertion_strategy,
+                "structure": self.structure,
+            },
+            "levels": sorted(
+                [v, rec.level] for v, rec in self._vertices.items()
+            ),
+            "edges": sorted(self.edges()),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: dict, tracker: WorkDepthTracker | None = None
+    ) -> "PLDS":
+        """Reconstruct a PLDS from :meth:`to_snapshot` output.
+
+        The levels are restored verbatim (no replay), so estimates,
+        orientation, and invariants match the snapshotted instance
+        exactly.  Raises ``ValueError`` if the snapshot is internally
+        inconsistent (an edge referencing an unknown vertex, or a level
+        out of range).
+        """
+        if snapshot.get("format") != 1:
+            raise ValueError("unsupported snapshot format")
+        plds = cls(tracker=tracker, **snapshot["params"])
+        for v, level in snapshot["levels"]:
+            if not 0 <= level < plds.num_levels:
+                raise ValueError(f"level {level} of vertex {v} out of range")
+            rec = plds._record(v)
+            rec.level = level
+        for u, v in snapshot["edges"]:
+            if u not in plds._vertices or v not in plds._vertices:
+                raise ValueError(f"edge ({u},{v}) references unknown vertex")
+            plds._insert_edge_struct(u, v)
+        if plds.track_orientation:
+            for e in plds.edges():
+                plds._orient[e] = plds.orientation_of(*e)
+        return plds
+
+    def level_histogram(self) -> dict[int, int]:
+        """Number of vertices per (non-empty) level."""
+        hist: dict[int, int] = {}
+        for rec in self._vertices.values():
+            hist[rec.level] = hist.get(rec.level, 0) + 1
+        return hist
+
+    def group_histogram(self) -> dict[int, int]:
+        """Number of vertices per (non-empty) group."""
+        hist: dict[int, int] = {}
+        for rec in self._vertices.values():
+            g = self.group_number(rec.level)
+            hist[g] = hist.get(g, 0) + 1
+        return hist
+
+    def stats(self) -> dict[str, float]:
+        """Structure health snapshot: sizes, occupancy, cost so far.
+
+        Useful for monitoring dashboards and debugging; everything here
+        is O(n) to compute and side-effect free.
+        """
+        levels = [rec.level for rec in self._vertices.values()]
+        return {
+            "num_vertices": float(len(self._vertices)),
+            "num_edges": float(self._m),
+            "num_levels": float(self.num_levels),
+            "levels_per_group": float(self.levels_per_group),
+            "max_level_in_use": float(max(levels, default=0)),
+            "mean_level": (sum(levels) / len(levels)) if levels else 0.0,
+            "work": float(self.tracker.work),
+            "depth": float(self.tracker.depth),
+            "space_bytes": float(self.space_bytes()),
+        }
+
+    def check_invariants(self) -> list[str]:
+        """Return human-readable descriptions of any invariant violations.
+
+        Empty list means the structure satisfies Invariants 1 and 2 and its
+        U/L bookkeeping is internally consistent.  Intended for tests.
+        """
+        problems: list[str] = []
+        for v, rec in self._vertices.items():
+            l = rec.level
+            if len(rec.up) > self.inv1_bound(l):
+                problems.append(
+                    f"Invariant 1 violated at v={v}: up={len(rec.up)} > "
+                    f"{self.inv1_bound(l):.2f} (level {l})"
+                )
+            if l > 0 and rec.degree() > 0:
+                up_star = len(rec.up) + len(rec.down.get(l - 1, ()))
+                if up_star < self.inv2_threshold(l):
+                    problems.append(
+                        f"Invariant 2 violated at v={v}: up*={up_star} < "
+                        f"{self.inv2_threshold(l):.2f} (level {l})"
+                    )
+            for w in rec.up:
+                if self._vertices[w].level < l:
+                    problems.append(f"U[{v}] holds {w} below level {l}")
+            for j, bucket in rec.down.items():
+                if j >= l:
+                    problems.append(f"L_{v}[{j}] exists at/above level {l}")
+                for w in bucket:
+                    if self._vertices[w].level != j:
+                        problems.append(
+                            f"L_{v}[{j}] holds {w} at level "
+                            f"{self._vertices[w].level}"
+                        )
+        return problems
+
+    def space_bytes(self) -> int:
+        """Rough byte count of the maintained structures (Section 6.8).
+
+        Counts 8 bytes per stored vertex id / level slot / hash entry, the
+        same bookkeeping granularity the paper's space experiments use.
+        The randomized/deterministic variants keep a slot for *every*
+        level below ℓ(v) (the O(n log² n) term); the space-efficient
+        variant (Section 5.8) keeps a linked-list node only for non-empty
+        levels, giving O(n + m).
+        """
+        total = 0
+        for rec in self._vertices.values():
+            total += 8  # level
+            total += 8 * len(rec.up)
+            if self.structure == "space_efficient":
+                total += sum(16 + 8 * len(s) for s in rec.down.values())
+            else:
+                total += 8 * rec.level  # one L_v slot per lower level
+                total += sum(8 * len(s) for s in rec.down.values())
+        total += 24 * len(self._orient)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PLDS(n={self.num_vertices}, m={self._m}, K={self.num_levels}, "
+            f"delta={self.delta}, lam={self.lam}, shrink={self.group_shrink})"
+        )

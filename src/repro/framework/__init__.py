@@ -1,0 +1,100 @@
+"""Section-8 framework and its applications (Sections 9–11).
+
+Convenience constructors wire each application to a
+:class:`FrameworkDriver` that owns the PLDS:
+
+>>> from repro.framework import create_matching_driver
+>>> driver, matching = create_matching_driver(n_hint=1000)
+>>> from repro.graphs.streams import Batch
+>>> _ = driver.update(Batch(insertions=[(0, 1), (1, 2)]))
+>>> sorted(matching.matching())
+[(0, 1)]
+"""
+
+from __future__ import annotations
+
+from ..parallel.engine import WorkDepthTracker
+from .clique_tables import CliqueCounterTables
+from .cliques import CliqueCounter
+from .coloring import ExplicitColoring, ImplicitColoring
+from .framework import BatchDynamicApplication, FrameworkDriver
+from .matching import MaximalMatching
+from .static_matching import static_maximal_matching
+
+__all__ = [
+    "BatchDynamicApplication",
+    "FrameworkDriver",
+    "MaximalMatching",
+    "CliqueCounter",
+    "CliqueCounterTables",
+    "create_clique_tables_driver",
+    "ExplicitColoring",
+    "ImplicitColoring",
+    "static_maximal_matching",
+    "create_matching_driver",
+    "create_clique_driver",
+    "create_explicit_coloring_driver",
+    "create_implicit_coloring_driver",
+]
+
+
+class _Deferred:
+    """Placeholder app so the driver can be built before the app exists."""
+
+    def batch_flips(self, *a): ...
+    def batch_delete(self, *a): ...
+    def batch_insert(self, *a): ...
+
+
+def _make_driver(n_hint: int, **kwargs) -> FrameworkDriver:
+    return FrameworkDriver(app=_Deferred(), n_hint=n_hint, **kwargs)
+
+
+def create_matching_driver(
+    n_hint: int, seed: int = 0, **kwargs
+) -> tuple[FrameworkDriver, MaximalMatching]:
+    """Driver + batch-dynamic maximal matching (Theorem 3.4)."""
+    driver = _make_driver(n_hint, **kwargs)
+    app = MaximalMatching(driver.plds, driver.tracker, seed=seed)
+    driver.app = app
+    return driver, app
+
+
+def create_clique_driver(
+    n_hint: int, k: int = 3, track_local: bool = False, **kwargs
+) -> tuple[FrameworkDriver, CliqueCounter]:
+    """Driver + batch-dynamic k-clique counter (Theorem 3.6)."""
+    driver = _make_driver(n_hint, **kwargs)
+    app = CliqueCounter(driver.plds, driver.tracker, k=k, track_local=track_local)
+    driver.app = app
+    return driver, app
+
+
+def create_clique_tables_driver(
+    n_hint: int, k: int = 3, **kwargs
+) -> tuple[FrameworkDriver, CliqueCounterTables]:
+    """Driver + the table-hierarchy k-clique counter (Algorithms 12-13)."""
+    driver = _make_driver(n_hint, **kwargs)
+    app = CliqueCounterTables(driver.plds, driver.tracker, k=k)
+    driver.app = app
+    return driver, app
+
+
+def create_explicit_coloring_driver(
+    n_hint: int, seed: int = 0, **kwargs
+) -> tuple[FrameworkDriver, ExplicitColoring]:
+    """Driver + explicit O(α log n)-coloring (Theorem 3.7)."""
+    driver = _make_driver(n_hint, **kwargs)
+    app = ExplicitColoring(driver.plds, driver.tracker, seed=seed)
+    driver.app = app
+    return driver, app
+
+
+def create_implicit_coloring_driver(
+    n_hint: int, **kwargs
+) -> tuple[FrameworkDriver, ImplicitColoring]:
+    """Driver + implicit coloring (Theorem 3.5 semantics)."""
+    driver = _make_driver(n_hint, **kwargs)
+    app = ImplicitColoring(driver.plds, driver.tracker)
+    driver.app = app
+    return driver, app

@@ -1,0 +1,252 @@
+"""Batch-dynamic maximal matching (paper Section 9, Algorithms 8–10).
+
+Maintains a maximal matching under batched edge updates on top of the
+PLDS's low out-degree orientation, via the Section-8 framework:
+
+- **BatchFlips** (Algorithm 8): keep the unmatched-in-neighbor tables
+  ``I_v`` consistent when edge orientations flip.
+- **BatchInsert** (Algorithm 9): inserted edges between two unmatched
+  endpoints form a candidate subgraph; a static parallel maximal matching
+  on it decides who matches.
+- **BatchDelete** (Algorithm 10): vertices unmatched by deleted matched
+  edges first try their out-neighbors (a static matching on the induced
+  subgraph), then probe geometrically growing samples of their unmatched
+  in-neighbors (``c = 1, 2, 4, …``) until everyone is matched or provably
+  unmatchable — the doubling scheme behind the
+  ``O(|B|(α + log² n))`` amortized work bound (Theorem 3.4).
+
+Work/depth are metered on the shared tracker.  ``I_v`` entries are
+validated lazily (an entry is dropped when observed stale), which keeps
+single mutations O(1) while preserving the invariant the proofs need:
+every unmatched in-neighbor of ``v`` is present in ``I_v``.
+"""
+
+from __future__ import annotations
+
+from ..core.plds import PLDS, DirectedEdge
+from ..graphs.dynamic_graph import canonical_edge
+from ..parallel.engine import WorkDepthTracker
+from ..parallel.primitives import log2_ceil
+from .static_matching import static_maximal_matching
+
+__all__ = ["MaximalMatching"]
+
+
+class MaximalMatching:
+    """Maximal matching application for the Section-8 framework.
+
+    Construct, then register with a
+    :class:`~repro.framework.framework.FrameworkDriver` (see
+    ``create_matching_driver`` in :mod:`repro.framework`).
+    """
+
+    def __init__(self, plds: PLDS, tracker: WorkDepthTracker, seed: int = 0) -> None:
+        self.plds = plds
+        self.tracker = tracker
+        self.seed = seed
+        self._round = 0
+        #: partner of each matched vertex.
+        self.mate: dict[int, int] = {}
+        #: I_v — unmatched in-neighbors of v (may contain stale entries,
+        #: validated lazily against ``mate`` and the orientation).
+        self._in_unmatched: dict[int, set[int]] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def is_matched(self, v: int) -> bool:
+        return v in self.mate
+
+    def matching(self) -> set[tuple[int, int]]:
+        """The current matching as canonical edges."""
+        return {canonical_edge(v, w) for v, w in self.mate.items() if v < w}
+
+    # -- internal helpers -------------------------------------------------
+
+    def _iv(self, v: int) -> set[int]:
+        return self._in_unmatched.setdefault(v, set())
+
+    def _set_matched(self, u: int, v: int) -> None:
+        self.mate[u] = v
+        self.mate[v] = u
+
+    def _notify_matched(self, vs: list[int]) -> None:
+        """Newly matched vertices leave the I-tables of their out-neighbors."""
+        with self.tracker.parallel() as par:
+            for v in vs:
+                with par.branch():
+                    outs = self.plds.out_neighbors(v)
+                    self.tracker.add(work=max(1, len(outs)), depth=5)
+                    for w in outs:
+                        self._iv(w).discard(v)
+
+    def _unmatch(self, u: int, v: int) -> None:
+        if self.mate.get(u) == v:
+            del self.mate[u]
+            del self.mate[v]
+
+    def _seed(self) -> int:
+        self._round += 1
+        return self.seed * 1_000_003 + self._round
+
+    # -- Algorithm 8: BatchFlips -----------------------------------------
+
+    def batch_flips(
+        self,
+        flips: list[DirectedEdge],
+        oriented_insertions: list[DirectedEdge],
+        oriented_deletions: list[DirectedEdge],
+    ) -> None:
+        self.tracker.add(work=max(1, len(flips)), depth=5)
+        for u, v in flips:  # was u -> v, now v -> u
+            if u not in self.mate:
+                self._iv(v).discard(u)
+            if v not in self.mate:
+                self._iv(u).add(v)
+
+    # -- Algorithm 10: BatchDelete ----------------------------------------
+
+    def batch_delete(self, oriented_deletions: list[DirectedEdge]) -> None:
+        if not oriented_deletions:
+            return
+        tracker = self.tracker
+        tracker.add(work=max(1, len(oriented_deletions)), depth=5)
+
+        # Deleted edges leave the I-tables; deleted matched edges unmatch.
+        newly_unmatched: set[int] = set()
+        for u, v in oriented_deletions:  # oriented u -> v pre-batch
+            self._iv(v).discard(u)
+            if self.mate.get(u) == v:
+                self._unmatch(u, v)
+                newly_unmatched.add(u)
+                newly_unmatched.add(v)
+
+        if not newly_unmatched:
+            return
+
+        # Lines 1-11: try out-neighbors first (induced subgraph of U and
+        # the unmatched out-neighbors of U).
+        candidate_vs = set(newly_unmatched)
+        for u in sorted(newly_unmatched):
+            outs = self.plds.out_neighbors(u)
+            tracker.add(work=max(1, len(outs)), depth=5)
+            for w in outs:
+                if w not in self.mate:
+                    candidate_vs.add(w)
+        induced: list[tuple[int, int]] = []
+        for x in sorted(candidate_vs):
+            outs = self.plds.out_neighbors(x)
+            tracker.add(work=max(1, len(outs)), depth=5)
+            for w in outs:
+                if w in candidate_vs:
+                    induced.append(canonical_edge(x, w))
+        new_matches = static_maximal_matching(
+            tracker, induced, seed=self._seed(), forbidden=self.mate.keys()
+        )
+        matched_now: list[int] = []
+        for a, b in new_matches:
+            self._set_matched(a, b)
+            matched_now.extend((a, b))
+        self._notify_matched(matched_now)
+        remaining = {v for v in newly_unmatched if v not in self.mate}
+
+        # Lines 12-24: doubling probe of unmatched in-neighbors.
+        c = 1
+        while remaining:
+            probe_edges: list[tuple[int, int]] = []
+            dead: list[int] = []
+            for u in sorted(remaining):
+                iv = self._iv(u)
+                picked: list[int] = []
+                stale: list[int] = []
+                for w in iv:
+                    if w in self.mate:
+                        stale.append(w)  # lazy validation
+                        continue
+                    picked.append(w)
+                    if len(picked) >= c:
+                        break
+                for w in stale:
+                    iv.discard(w)
+                tracker.add(work=max(1, len(picked) + len(stale)), depth=5)
+                if not picked and not iv:
+                    dead.append(u)  # Line 16-17: no unmatched in-neighbors
+                for w in picked:
+                    probe_edges.append(canonical_edge(u, w))
+            for u in dead:
+                remaining.discard(u)
+            if not probe_edges:
+                break
+            new_matches = static_maximal_matching(
+                tracker,
+                probe_edges,
+                seed=self._seed(),
+                forbidden=self.mate.keys(),
+            )
+            matched_now = []
+            for a, b in new_matches:
+                self._set_matched(a, b)
+                matched_now.extend((a, b))
+            self._notify_matched(matched_now)
+            remaining = {v for v in remaining if v not in self.mate}
+            c *= 2
+            tracker.add(work=1, depth=log2_ceil(max(2, c)))
+
+        # Lines 25-28: survivors announce themselves to out-neighbors.
+        for v in sorted(newly_unmatched):
+            if v in self.mate:
+                continue
+            outs = self.plds.out_neighbors(v)
+            tracker.add(work=max(1, len(outs)), depth=5)
+            for w in outs:
+                self._iv(w).add(v)
+
+    # -- Algorithm 9: BatchInsert ----------------------------------------
+
+    def batch_insert(self, oriented_insertions: list[DirectedEdge]) -> None:
+        if not oriented_insertions:
+            return
+        tracker = self.tracker
+        tracker.add(work=max(1, len(oriented_insertions)), depth=5)
+
+        # Lines 1-4: candidate edges between two unmatched endpoints.
+        candidates = [
+            canonical_edge(u, v)
+            for u, v in oriented_insertions
+            if u not in self.mate and v not in self.mate
+        ]
+        # Line 5: static matching on the candidate subgraph.
+        new_matches = static_maximal_matching(
+            tracker, candidates, seed=self._seed(), forbidden=self.mate.keys()
+        )
+        matched_now: list[int] = []
+        for a, b in new_matches:
+            self._set_matched(a, b)
+            matched_now.extend((a, b))
+
+        # New in-neighbor registrations for inserted edges.
+        for u, v in oriented_insertions:  # oriented u -> v post-batch
+            if u not in self.mate:
+                self._iv(v).add(u)
+        # Lines 6-8: matched vertices leave out-neighbors' tables.
+        self._notify_matched(matched_now)
+
+    # -- verification ------------------------------------------------------
+
+    def violations(self) -> list[str]:
+        """Maximality/consistency violations (tests): empty == healthy."""
+        problems: list[str] = []
+        for u, v in self.plds.edges():
+            if u not in self.mate and v not in self.mate:
+                problems.append(f"edge ({u},{v}) has both endpoints unmatched")
+        for v, w in self.mate.items():
+            if self.mate.get(w) != v:
+                problems.append(f"asymmetric mate: {v}->{w}")
+            if not self.plds.has_edge(v, w):
+                problems.append(f"matched edge ({v},{w}) not in graph")
+        return problems
+
+    def space_bytes(self) -> int:
+        total = 16 * len(self.mate)
+        for s in self._in_unmatched.values():
+            total += 8 + 8 * len(s)
+        return total

@@ -1,0 +1,72 @@
+"""Static parallel maximal matching substrate (Blelloch et al. [16]).
+
+The paper's matching application calls a static, parallel, work-efficient
+maximal matching as a subroutine (Algorithms 9–10).  We implement the
+random-priority (Luby-style) algorithm: every round, each surviving edge
+checks whether its random priority is the minimum among all edges sharing
+an endpoint; local minima enter the matching simultaneously, matched
+vertices leave.  Expected O(m) work over O(log² m) rounds w.h.p.,
+which is the bound shown by Blelloch et al. / Fischer–Noever.
+
+Determinism: priorities come from a seeded hash, so results are
+reproducible while retaining the random-priority structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..graphs.dynamic_graph import canonical_edge
+from ..parallel.engine import WorkDepthTracker
+from ..parallel.primitives import log2_ceil
+
+__all__ = ["static_maximal_matching"]
+
+
+def static_maximal_matching(
+    tracker: WorkDepthTracker,
+    edges: Sequence[tuple[int, int]],
+    seed: int = 0,
+    forbidden: Iterable[int] = (),
+) -> set[tuple[int, int]]:
+    """Maximal matching of the given edge set, as canonical edge pairs.
+
+    ``forbidden`` vertices are excluded entirely (used by the dynamic
+    algorithm to keep already-matched vertices out of the subproblem).
+    Metered: O(m) expected work, O(log² m) depth w.h.p.
+    """
+    rng = random.Random(seed)
+    forbidden = set(forbidden)
+    alive = [
+        canonical_edge(u, v)
+        for u, v in edges
+        if u != v and u not in forbidden and v not in forbidden
+    ]
+    alive = list(dict.fromkeys(alive))
+    priority = {e: rng.random() for e in alive}
+    matching: set[tuple[int, int]] = set()
+    matched: set[int] = set()
+
+    while alive:
+        tracker.add(
+            work=max(1, len(alive)), depth=log2_ceil(len(alive)) + 1
+        )
+        # min priority among edges at each vertex
+        best: dict[int, float] = {}
+        for e in alive:
+            p = priority[e]
+            for x in e:
+                if p < best.get(x, float("inf")):
+                    best[x] = p
+        # local-minimum edges join the matching simultaneously
+        for e in alive:
+            p = priority[e]
+            if best[e[0]] == p and best[e[1]] == p:
+                matching.add(e)
+                matched.add(e[0])
+                matched.add(e[1])
+        alive = [
+            e for e in alive if e[0] not in matched and e[1] not in matched
+        ]
+    return matching

@@ -1,0 +1,59 @@
+"""Graph substrate: dynamic graphs, generators, update streams, IO."""
+
+from .dynamic_graph import DynamicGraph, canonical_edge
+from .generators import (
+    DatasetSpec,
+    barabasi_albert,
+    dataset_suite,
+    dense_cluster_graph,
+    erdos_renyi,
+    grid_2d,
+    planted_clique,
+    ring_of_cliques,
+    rmat,
+    small_world,
+)
+from .io import read_edge_list, write_edge_list
+from .adversarial import (
+    cascade_chain,
+    clique_pulse,
+    cycle_toggle,
+    star_pulse,
+)
+from .streams import (
+    Batch,
+    EdgeUpdate,
+    deletion_batches,
+    insertion_batches,
+    mixed_batch,
+    preprocess_batch,
+    sliding_window_batches,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "canonical_edge",
+    "DatasetSpec",
+    "barabasi_albert",
+    "dataset_suite",
+    "dense_cluster_graph",
+    "erdos_renyi",
+    "grid_2d",
+    "planted_clique",
+    "ring_of_cliques",
+    "rmat",
+    "small_world",
+    "read_edge_list",
+    "write_edge_list",
+    "Batch",
+    "EdgeUpdate",
+    "deletion_batches",
+    "insertion_batches",
+    "mixed_batch",
+    "preprocess_batch",
+    "sliding_window_batches",
+    "cascade_chain",
+    "clique_pulse",
+    "cycle_toggle",
+    "star_pulse",
+]

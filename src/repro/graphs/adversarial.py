@@ -1,0 +1,120 @@
+"""Adversarial update workloads from the paper's lower-bound discussions.
+
+Section 3 motivates approximation with worst cases for exact maintenance:
+
+- :func:`cycle_toggle`: "consider a cycle with one edge removed...
+  removing and adding the edge into this cycle, repeatedly in
+  succession, causes the coreness of all vertices to change by one with
+  each update" — Θ(n) changed outputs per single update.
+- :func:`cascade_chain`: the Figure-4 construction where one deletion
+  triggers a cascade of one-level moves in the sequential LDS, repeated
+  by toggling the same edge.
+- :func:`clique_pulse`: grow a clique edge by edge and tear it down,
+  pushing vertices through many levels (large coreness swings).
+- :func:`star_pulse`: pulse a hub's incident edges — stresses vertices
+  with high degree but low coreness.
+
+Each generator returns ``(initial_edges, batches)``: build the graph
+from ``initial_edges``, then apply the batches in order.  These are
+*adaptive*-adversary-style scripts (they depend on structure, not
+randomness), matching the adversary model of Theorems 3.1–3.6.
+"""
+
+from __future__ import annotations
+
+from .dynamic_graph import canonical_edge
+from .streams import Batch
+
+__all__ = [
+    "cycle_toggle",
+    "cascade_chain",
+    "clique_pulse",
+    "star_pulse",
+]
+
+
+def cycle_toggle(
+    n: int, toggles: int
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    """An n-cycle whose closing edge is toggled ``toggles`` times.
+
+    Every toggle flips the exact coreness of *all* n vertices between 1
+    and 2 — the paper's canonical argument that exact maintenance cannot
+    be output-sensitive.
+    """
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    cycle = [canonical_edge(i, (i + 1) % n) for i in range(n)]
+    closing = cycle[-1]
+    batches: list[Batch] = []
+    for _ in range(toggles):
+        batches.append(Batch(deletions=[closing]))
+        batches.append(Batch(insertions=[closing]))
+    return cycle, batches
+
+
+def cascade_chain(
+    length: int, toggles: int
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    """The Figure-4 cascade: a chain of triangles sharing vertices.
+
+    Deleting the head edge starves the first triangle, whose demotion
+    starves the next, and so on — each toggle re-runs the full cascade.
+    """
+    if length < 1:
+        raise ValueError("need length >= 1")
+    edges: list[tuple[int, int]] = []
+    # triangle i uses vertices (2i, 2i+1, 2i+2); consecutive triangles
+    # share a vertex, forming the dependency chain.
+    for i in range(length):
+        a, b, c = 2 * i, 2 * i + 1, 2 * i + 2
+        edges.extend(
+            canonical_edge(x, y) for x, y in ((a, b), (b, c), (a, c))
+        )
+    edges = list(dict.fromkeys(edges))
+    head = canonical_edge(0, 1)
+    batches: list[Batch] = []
+    for _ in range(toggles):
+        batches.append(Batch(deletions=[head]))
+        batches.append(Batch(insertions=[head]))
+    return edges, batches
+
+
+def clique_pulse(
+    k: int, pulses: int
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    """Grow a k-clique one batch at a time, then tear it down; repeat.
+
+    Coreness of the clique members sweeps 1..k-1 and back — maximal
+    vertical movement through the level structure.
+    """
+    if k < 3:
+        raise ValueError("need k >= 3")
+    all_edges = [
+        canonical_edge(i, j) for i in range(k) for j in range(i + 1, k)
+    ]
+    spanning = all_edges[: k - 1]
+    rest = all_edges[k - 1 :]
+    batches: list[Batch] = []
+    for _ in range(pulses):
+        batches.append(Batch(insertions=list(rest)))
+        batches.append(Batch(deletions=list(rest)))
+    return spanning, batches
+
+
+def star_pulse(
+    leaves: int, pulses: int
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    """Pulse all edges of a star with the given number of leaves.
+
+    The hub has huge degree but coreness 1 — stresses the gap between
+    degree-driven and coreness-driven data structures.
+    """
+    if leaves < 1:
+        raise ValueError("need leaves >= 1")
+    spokes = [canonical_edge(0, i) for i in range(1, leaves + 1)]
+    batches: list[Batch] = []
+    for _ in range(pulses):
+        batches.append(Batch(deletions=list(spokes)))
+        batches.append(Batch(insertions=list(spokes)))
+    return spokes, batches

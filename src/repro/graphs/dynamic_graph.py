@@ -1,0 +1,116 @@
+"""Dynamic undirected graph.
+
+A simple adjacency-set representation of an undirected, unweighted simple
+graph (the paper's setting, Section 2).  Vertices are integers.  Supports
+the edge/vertex insertions and deletions that drive every dynamic
+algorithm in the repository.
+
+Edges are canonicalized as ``(min(u, v), max(u, v))`` tuples throughout
+the codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["DynamicGraph", "canonical_edge"]
+
+
+def canonical_edge(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class DynamicGraph:
+    """Undirected simple graph under edge/vertex updates.
+
+    Self-loops and duplicate edges are rejected with ``ValueError`` —
+    the paper assumes batches are preprocessed to be *valid* (Section 8),
+    and :mod:`repro.graphs.streams` performs that preprocessing.
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(self, edges: Iterable[tuple[int, int]] = ()) -> None:
+        self._adj: dict[int, set[int]] = {}
+        self._m = 0
+        for u, v in edges:
+            self.insert_edge(u, v)
+
+    # -- vertices -------------------------------------------------------
+
+    def add_vertex(self, v: int) -> None:
+        """Insert an isolated vertex (no-op if present)."""
+        self._adj.setdefault(v, set())
+
+    def remove_vertex(self, v: int) -> list[tuple[int, int]]:
+        """Delete ``v`` and all incident edges; returns the removed edges."""
+        if v not in self._adj:
+            raise KeyError(f"vertex {v} not in graph")
+        removed = [canonical_edge(v, w) for w in self._adj[v]]
+        for w in list(self._adj[v]):
+            self.delete_edge(v, w)
+        del self._adj[v]
+        return removed
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    # -- edges ------------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop ({u},{v}) rejected")
+        if self.has_edge(u, v):
+            raise ValueError(f"duplicate edge ({u},{v}) rejected")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._m += 1
+
+    def delete_edge(self, u: int, v: int) -> None:
+        if not self.has_edge(u, v):
+            raise ValueError(f"edge ({u},{v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    # -- queries ------------------------------------------------------------
+
+    def neighbors(self, v: int) -> set[int]:
+        return self._adj.get(v, set())
+
+    def degree(self, v: int) -> int:
+        return len(self._adj.get(v, ()))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All edges in canonical form, each reported once."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def copy(self) -> "DynamicGraph":
+        g = DynamicGraph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._m = self._m
+        return g
+
+    def max_degree(self) -> int:
+        return max((len(n) for n in self._adj.values()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,41 @@
+"""Work-depth model simulation substrate.
+
+Provides the metered parallel primitives the paper assumes (Section 2):
+a :class:`WorkDepthTracker` that accounts work and depth of simulated
+parallel computations, batch-metered hash tables, classic primitives
+(reduce, filter, scan, sort, semisort), and a Brent-bound scheduler for
+simulating multiprocessor running times.
+"""
+
+from .engine import Cost, WorkDepthTracker, parfor, parmap
+from .hashtable import ParallelHashMap, ParallelHashSet
+from .primitives import (
+    log2_ceil,
+    parallel_count,
+    parallel_filter,
+    parallel_max,
+    parallel_prefix_sum,
+    parallel_reduce,
+    parallel_semisort,
+    parallel_sort,
+)
+from .scheduler import BrentScheduler, speedup_curve
+
+__all__ = [
+    "Cost",
+    "WorkDepthTracker",
+    "parfor",
+    "parmap",
+    "ParallelHashMap",
+    "ParallelHashSet",
+    "log2_ceil",
+    "parallel_count",
+    "parallel_filter",
+    "parallel_max",
+    "parallel_prefix_sum",
+    "parallel_reduce",
+    "parallel_semisort",
+    "parallel_sort",
+    "BrentScheduler",
+    "speedup_curve",
+]

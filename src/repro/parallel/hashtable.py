@@ -1,0 +1,147 @@
+"""Metered parallel hash table.
+
+The paper (Section 2, citing [42]) assumes parallel hash tables that
+support ``n`` insertions or deletions in O(n) work and O(log* n) depth
+w.h.p., and ``n`` membership queries in O(n) work and O(1) depth w.h.p.
+The PLDS implementation (Section 6.1) uses concurrent linear-probing
+tables with tombstone deletion.
+
+This module provides :class:`ParallelHashSet` and :class:`ParallelHashMap`
+— deterministic dict/set-backed structures that charge those costs to a
+:class:`~repro.parallel.engine.WorkDepthTracker`.  ``log*`` is so small for
+any feasible input that we charge a constant ``LOG_STAR_DEPTH`` per batched
+mutation, which is asymptotically faithful for every n < 2^65536.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+from .engine import WorkDepthTracker
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+__all__ = ["ParallelHashSet", "ParallelHashMap", "LOG_STAR_DEPTH"]
+
+#: Depth charged per batched hash-table mutation — stands in for O(log* n),
+#: which is <= 5 for any n < 2^65536.
+LOG_STAR_DEPTH = 5
+
+
+class ParallelHashSet(Generic[K]):
+    """A set with metered batch operations.
+
+    Single-element operations charge unit work; batch operations charge
+    O(batch) work and O(log* n) depth, matching [42].
+    """
+
+    __slots__ = ("_data", "_tracker")
+
+    def __init__(
+        self, tracker: WorkDepthTracker, items: Iterable[K] = ()
+    ) -> None:
+        self._tracker = tracker
+        self._data: set[K] = set(items)
+        if self._data:
+            tracker.add(work=len(self._data), depth=LOG_STAR_DEPTH)
+
+    # -- single-element ops (unit work, unit depth) --------------------
+
+    def add(self, item: K) -> None:
+        self._tracker.add(work=1, depth=1)
+        self._data.add(item)
+
+    def discard(self, item: K) -> None:
+        self._tracker.add(work=1, depth=1)
+        self._data.discard(item)
+
+    def __contains__(self, item: K) -> bool:
+        self._tracker.add(work=1, depth=1)
+        return item in self._data
+
+    # -- batch ops ------------------------------------------------------
+
+    def add_batch(self, items: Iterable[K]) -> None:
+        items = list(items)
+        self._tracker.add(work=max(1, len(items)), depth=LOG_STAR_DEPTH)
+        self._data.update(items)
+
+    def discard_batch(self, items: Iterable[K]) -> None:
+        items = list(items)
+        self._tracker.add(work=max(1, len(items)), depth=LOG_STAR_DEPTH)
+        self._data.difference_update(items)
+
+    def contains_batch(self, items: Iterable[K]) -> list[bool]:
+        items = list(items)
+        self._tracker.add(work=max(1, len(items)), depth=1)
+        return [x in self._data for x in items]
+
+    # -- iteration / size (free reads of a materialized structure) ------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def as_set(self) -> set[K]:
+        """Direct (unmetered) view for assertions and tests."""
+        return self._data
+
+
+class ParallelHashMap(Generic[K, V]):
+    """A map with metered batch operations (same cost model as the set)."""
+
+    __slots__ = ("_data", "_tracker")
+
+    def __init__(self, tracker: WorkDepthTracker) -> None:
+        self._tracker = tracker
+        self._data: dict[K, V] = {}
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self._tracker.add(work=1, depth=1)
+        self._data[key] = value
+
+    def __getitem__(self, key: K) -> V:
+        self._tracker.add(work=1, depth=1)
+        return self._data[key]
+
+    def __delitem__(self, key: K) -> None:
+        self._tracker.add(work=1, depth=1)
+        del self._data[key]
+
+    def __contains__(self, key: K) -> bool:
+        self._tracker.add(work=1, depth=1)
+        return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        self._tracker.add(work=1, depth=1)
+        return self._data.get(key, default)
+
+    def set_batch(self, pairs: Iterable[tuple[K, V]]) -> None:
+        pairs = list(pairs)
+        self._tracker.add(work=max(1, len(pairs)), depth=LOG_STAR_DEPTH)
+        self._data.update(pairs)
+
+    def delete_batch(self, keys: Iterable[K]) -> None:
+        keys = list(keys)
+        self._tracker.add(work=max(1, len(keys)), depth=LOG_STAR_DEPTH)
+        for k in keys:
+            self._data.pop(k, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def items(self) -> Iterable[tuple[K, V]]:
+        return self._data.items()
+
+    def as_dict(self) -> dict[K, V]:
+        """Direct (unmetered) view for assertions and tests."""
+        return self._data

@@ -1,0 +1,134 @@
+"""Metered parallel primitives.
+
+Implements the primitives the paper assumes in Section 2 ("Preliminaries"),
+with the costs the paper cites charged to a :class:`~repro.parallel.engine.WorkDepthTracker`:
+
+===============  =================  ==================
+primitive        work               depth
+===============  =================  ==================
+reduce           O(n)               O(log n)
+filter / pack    O(n)               O(log n)
+prefix sum       O(n)               O(log n)
+comparison sort  O(n log n)         O(log n)
+semisort         O(n) expected      O(log n) w.h.p.
+===============  =================  ==================
+
+The values returned are computed sequentially (and deterministically) but
+are exactly what the parallel primitive would produce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from .engine import WorkDepthTracker
+
+T = TypeVar("T")
+K = TypeVar("K", bound=Hashable)
+
+__all__ = [
+    "log2_ceil",
+    "parallel_reduce",
+    "parallel_filter",
+    "parallel_prefix_sum",
+    "parallel_sort",
+    "parallel_semisort",
+    "parallel_max",
+    "parallel_count",
+]
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2(n))`` for n >= 1, else 0 — used for depth charges."""
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+def _charge_linear(tracker: WorkDepthTracker, n: int) -> None:
+    tracker.add(work=max(n, 1), depth=log2_ceil(n) + 1)
+
+
+def parallel_reduce(
+    tracker: WorkDepthTracker,
+    seq: Sequence[T],
+    op: Callable[[T, T], T],
+    identity: T,
+) -> T:
+    """Tree reduction: O(n) work, O(log n) depth."""
+    _charge_linear(tracker, len(seq))
+    acc = identity
+    for x in seq:
+        acc = op(acc, x)
+    return acc
+
+
+def parallel_max(tracker: WorkDepthTracker, seq: Sequence[int], default: int = 0) -> int:
+    _charge_linear(tracker, len(seq))
+    return max(seq, default=default)
+
+
+def parallel_count(
+    tracker: WorkDepthTracker, seq: Iterable[T], pred: Callable[[T], bool]
+) -> int:
+    seq = list(seq)
+    _charge_linear(tracker, len(seq))
+    return sum(1 for x in seq if pred(x))
+
+
+def parallel_filter(
+    tracker: WorkDepthTracker, seq: Sequence[T], pred: Callable[[T], bool]
+) -> list[T]:
+    """Stable filter (pack): O(n) work, O(log n) depth.
+
+    Preserves the relative order of kept elements, as the paper requires.
+    """
+    _charge_linear(tracker, len(seq))
+    return [x for x in seq if pred(x)]
+
+
+def parallel_prefix_sum(
+    tracker: WorkDepthTracker,
+    seq: Sequence[int],
+    identity: int = 0,
+) -> list[int]:
+    """Exclusive prefix sum: ``out[i] = identity + sum(seq[:i])``.
+
+    O(n) work, O(log n) depth (Blelloch scan).
+    """
+    _charge_linear(tracker, len(seq))
+    out: list[int] = []
+    acc = identity
+    for x in seq:
+        out.append(acc)
+        acc += x
+    return out
+
+
+def parallel_sort(
+    tracker: WorkDepthTracker,
+    seq: Sequence[T],
+    key: Callable[[T], object] | None = None,
+) -> list[T]:
+    """Comparison sort: O(n log n) work, O(log n) depth (e.g. sample sort)."""
+    n = len(seq)
+    tracker.add(work=max(1, n * max(1, log2_ceil(n))), depth=log2_ceil(n) + 1)
+    return sorted(seq, key=key)  # type: ignore[type-var,arg-type]
+
+
+def parallel_semisort(
+    tracker: WorkDepthTracker,
+    pairs: Sequence[tuple[K, T]],
+) -> dict[K, list[T]]:
+    """Group pairs by key: O(n) expected work, O(log n) depth w.h.p. [43].
+
+    Returns groups keyed by the (hashable) key; within a group, values keep
+    their input order.  Used by the static approximate k-core algorithm
+    (Algorithm 6) to aggregate peeled-edge counts per neighbor.
+    """
+    _charge_linear(tracker, len(pairs))
+    groups: dict[K, list[T]] = {}
+    for k, v in pairs:
+        groups.setdefault(k, []).append(v)
+    return groups

@@ -1,0 +1,75 @@
+"""Simulated multiprocessor scheduling via Brent's bound.
+
+The paper's Figure 10 plots self-relative speedup against thread count on
+a 30-core (60 hyperthread) machine.  CPython cannot run the algorithms
+with real threads, so we *simulate* scheduling: given the measured work
+``W`` and depth ``D`` of a computation, a greedy scheduler on ``p``
+processors finishes in time
+
+    T_p  with  W/p <= T_p <= W/p + D          (Brent's theorem)
+
+We model ``T_p = W/p + D`` (the pessimistic end of the bound), optionally
+inflated by a per-processor scheduling overhead, which reproduces the
+qualitative shape of the paper's scalability curves: near-linear speedup
+while ``W/p >> D``, saturating when the critical path dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import Cost
+
+__all__ = ["BrentScheduler", "speedup_curve"]
+
+
+@dataclass(frozen=True)
+class BrentScheduler:
+    """Converts (work, depth) into simulated parallel running times.
+
+    Parameters
+    ----------
+    overhead_per_processor:
+        Additive cost per extra processor, modelling scheduler/fork
+        overhead (paper Section 6.3 observes parallel overheads dominate
+        small batches).  Default 0.
+    hyperthread_cores:
+        If set, processors beyond this count contribute only
+        ``hyperthread_yield`` of a full core (the paper's machine has 30
+        physical cores with 2-way hyperthreading: threads 31..60 give
+        diminished returns).
+    hyperthread_yield:
+        Effective fraction of a core contributed by a hyperthread.
+    """
+
+    overhead_per_processor: float = 0.0
+    hyperthread_cores: int | None = None
+    hyperthread_yield: float = 0.35
+
+    def effective_processors(self, p: int) -> float:
+        """Number of effective cores for ``p`` hardware threads."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        if self.hyperthread_cores is None or p <= self.hyperthread_cores:
+            return float(p)
+        extra = p - self.hyperthread_cores
+        return self.hyperthread_cores + extra * self.hyperthread_yield
+
+    def time(self, cost: Cost, p: int) -> float:
+        """Simulated running time of ``cost`` on ``p`` threads."""
+        peff = self.effective_processors(p)
+        return cost.work / peff + cost.depth + self.overhead_per_processor * (p - 1)
+
+    def speedup(self, cost: Cost, p: int) -> float:
+        """Self-relative speedup T_1 / T_p."""
+        return self.time(cost, 1) / self.time(cost, p)
+
+
+def speedup_curve(
+    cost: Cost,
+    processors: list[int],
+    scheduler: BrentScheduler | None = None,
+) -> list[tuple[int, float]]:
+    """Convenience: [(p, speedup)] for each processor count."""
+    sched = scheduler or BrentScheduler()
+    return [(p, sched.speedup(cost, p)) for p in processors]

@@ -1,0 +1,30 @@
+"""Static k-core decomposition: exact peeling and Algorithm 6 approximation."""
+
+from .approx import ApproxKCoreResult, approx_coreness_static
+from .bucketing import ParallelBucketing
+from .subgraphs import (
+    CoreComponent,
+    approx_k_core_candidates,
+    core_hierarchy,
+    k_core_subgraph,
+)
+from .exact import (
+    ExactKCoreResult,
+    ParallelExactKCore,
+    exact_coreness,
+    max_coreness,
+)
+
+__all__ = [
+    "ApproxKCoreResult",
+    "approx_coreness_static",
+    "ParallelBucketing",
+    "ExactKCoreResult",
+    "ParallelExactKCore",
+    "exact_coreness",
+    "CoreComponent",
+    "approx_k_core_candidates",
+    "core_hierarchy",
+    "k_core_subgraph",
+    "max_coreness",
+]

@@ -1,0 +1,137 @@
+"""Static ``(2+ε)``-approximate k-core decomposition (paper Algorithm 6).
+
+The paper's *ApproxKCore* (Theorem 3.8): a bucketing-based peeling where
+peeling thresholds are powers of ``(1+ε)``.  Linear expected work and —
+unlike exact peeling, whose round count ρ can be Θ(n) — polylogarithmic
+depth: at most ``log_{1+δ} n`` rounds are spent at each of the
+``O(log n)`` thresholds before the threshold is forcibly advanced.
+
+Estimates are powers of ``(1+ε)``: a vertex peeled from bucket ``b``
+receives estimate ``(1+ε)^b`` (Example 7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..parallel.engine import WorkDepthTracker
+from ..parallel.primitives import log2_ceil, parallel_semisort
+from .bucketing import ParallelBucketing
+
+__all__ = ["approx_coreness_static", "ApproxKCoreResult"]
+
+
+@dataclass
+class ApproxKCoreResult:
+    """Output of :func:`approx_coreness_static`."""
+
+    estimates: dict[int, float]
+    #: number of bucket-extraction rounds (the depth driver).
+    rounds: int
+
+
+def approx_coreness_static(
+    edges: Iterable[tuple[int, int]],
+    eps: float = 0.5,
+    delta: float = 0.5,
+    tracker: WorkDepthTracker | None = None,
+    vertices: Iterable[int] = (),
+) -> ApproxKCoreResult:
+    """Run Algorithm 6 and return per-vertex coreness estimates.
+
+    Parameters
+    ----------
+    eps:
+        Peeling thresholds are powers of ``(1+eps)``; larger values mean
+        fewer thresholds (less work/depth) but coarser estimates.
+    delta:
+        At most ``log_{1+delta} n`` peeling rounds are allowed per
+        threshold before ``t`` is forcibly incremented (Line 6), which is
+        what guarantees polylog depth.
+    vertices:
+        Optional extra isolated vertices (estimate 0).
+    """
+    if eps <= 0 or delta <= 0:
+        raise ValueError("eps and delta must be > 0")
+    tracker = tracker if tracker is not None else WorkDepthTracker()
+    log1e = math.log(1.0 + eps)
+
+    adj: dict[int, set[int]] = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    for v in vertices:
+        adj.setdefault(v, set())
+    n = len(adj)
+    if n == 0:
+        return ApproxKCoreResult(estimates={}, rounds=0)
+
+    def bucket_index(c: int) -> int:
+        if c <= 1:
+            return 0
+        return math.ceil(math.log(c) / log1e)
+
+    # Line 1-2: C[v] = deg(v); initial buckets.
+    induced = {v: len(nbrs) for v, nbrs in adj.items()}
+    tracker.add(work=n, depth=log2_ceil(n) + 1)
+    buckets = ParallelBucketing(
+        tracker, ((v, bucket_index(c)) for v, c in induced.items())
+    )
+
+    max_rounds_per_t = max(1, math.ceil(math.log(max(n, 2)) / math.log(1.0 + delta)))
+    estimates: dict[int, float] = {}
+    t = 0
+    rounds_at_t = 0
+    rounds = 0
+
+    # Line 4-15: the peeling loop.
+    while True:
+        popped = buckets.pop_lowest()
+        if popped is None:
+            break
+        peeled, bkt = popped
+        rounds += 1
+        # Line 6-7: threshold bookkeeping.
+        if bkt == t:
+            rounds_at_t += 1
+            if rounds_at_t > max_rounds_per_t:
+                t += 1
+                rounds_at_t = 0
+        elif bkt != t:
+            t = bkt
+            rounds_at_t = 0
+        for v in peeled:
+            estimates[v] = 0.0 if len(adj[v]) == 0 else (1.0 + eps) ** bkt
+
+        # Line 8: R — per-neighbor peel counts, via semisort.
+        pairs = []
+        with tracker.parallel() as par:
+            for v in peeled:
+                with par.branch():
+                    tracker.add(
+                        work=max(1, len(adj[v])),
+                        depth=log2_ceil(len(adj[v]) or 1) + 1,
+                    )
+                    for w in adj[v]:
+                        if w not in estimates:
+                            pairs.append((w, 1))
+        grouped = parallel_semisort(tracker, pairs)
+
+        # Lines 10-15: recompute estimates/buckets of affected neighbors.
+        moves = []
+        with tracker.parallel() as par:
+            for w, ones in grouped.items():
+                with par.branch():
+                    if w in estimates:
+                        continue
+                    induced_deg = induced[w] - len(ones)
+                    floor = math.ceil((1.0 + eps) ** max(t - 1, 0))
+                    induced[w] = max(induced_deg, floor)
+                    newbkt = max(bucket_index(induced[w]), t)
+                    moves.append((w, newbkt))
+                    tracker.add(work=1, depth=1)
+        buckets.update_batch(moves)
+
+    return ApproxKCoreResult(estimates=estimates, rounds=rounds)

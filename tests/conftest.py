@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.plds import PLDS
+from repro.graphs.streams import Batch
+
+
+@pytest.fixture
+def tracker():
+    from repro.parallel.engine import WorkDepthTracker
+
+    return WorkDepthTracker()
+
+
+def build_plds(edges, batch_size=64, n_hint=None, shuffle_seed=None, **kwargs):
+    """Construct a PLDS by inserting ``edges`` in batches."""
+    edges = list(edges)
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(edges)
+    if n_hint is None:
+        n_hint = max((max(e) for e in edges), default=1) + 1
+    plds = PLDS(n_hint=n_hint, **kwargs)
+    for i in range(0, len(edges), batch_size):
+        plds.update(Batch(insertions=edges[i : i + batch_size]))
+    return plds
+
+
+def assert_no_violations(structure, context=""):
+    problems = structure.check_invariants()
+    assert not problems, f"{context}: {problems[:5]}"

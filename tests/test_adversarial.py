@@ -1,0 +1,122 @@
+"""Adversarial-workload tests: the paper's worst cases, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.zhang import ZhangExactDynamic
+from repro.core.invariants import approximation_violations
+from repro.core.plds import PLDS
+from repro.graphs.adversarial import (
+    cascade_chain,
+    clique_pulse,
+    cycle_toggle,
+    star_pulse,
+)
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.static_kcore.exact import exact_coreness
+
+
+def _drive(initial, batches, **plds_kwargs):
+    n_hint = max((max(e) for e in initial), default=1) + 2
+    plds = PLDS(n_hint=n_hint, **plds_kwargs)
+    graph = DynamicGraph(initial)
+    plds.insert_edges(initial)
+    for b in batches:
+        plds.update(b)
+        for e in b.insertions:
+            graph.insert_edge(*e)
+        for e in b.deletions:
+            graph.delete_edge(*e)
+        probs = plds.check_invariants()
+        assert not probs, probs[:3]
+        exact = exact_coreness(list(graph.edges()), vertices=graph.vertices())
+        bad = approximation_violations(
+            plds.coreness_estimates(), exact, plds.approximation_factor()
+        )
+        assert not bad, bad[:3]
+    return plds, graph
+
+
+class TestGenerators:
+    def test_cycle_toggle_shape(self):
+        initial, batches = cycle_toggle(10, 3)
+        assert len(initial) == 10
+        assert len(batches) == 6
+
+    def test_cascade_chain_shape(self):
+        initial, batches = cascade_chain(5, 2)
+        assert len(batches) == 4
+        # 5 triangles sharing vertices -> 11 vertices, 15 edges minus merges
+        assert len(initial) == 15
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            cycle_toggle(2, 1)
+        with pytest.raises(ValueError):
+            cascade_chain(0, 1)
+        with pytest.raises(ValueError):
+            clique_pulse(2, 1)
+        with pytest.raises(ValueError):
+            star_pulse(0, 1)
+
+
+class TestPLDSUnderAdversary:
+    def test_cycle_toggle_stays_bounded(self):
+        initial, batches = cycle_toggle(40, 8)
+        plds, _ = _drive(initial, batches)
+        # after the last re-insertion the cycle's cores are all 2
+        for v in range(40):
+            assert plds.coreness_estimate(v) >= 2 / plds.approximation_factor()
+
+    def test_cycle_toggle_amortized_work_constant(self):
+        # Theorem 3.1's punchline: PLDS work per toggle is polylog even
+        # though every toggle changes Theta(n) exact coreness values.
+        results = {}
+        for n in (50, 200):
+            initial, batches = cycle_toggle(n, 5)
+            plds, _ = _drive(initial, batches)
+            snap = plds.tracker.work
+            plds2, _ = _drive(initial, [])
+            build = plds2.tracker.work
+            results[n] = (snap - build) / len(batches)
+        # 4x larger cycle must not cost ~4x more per toggle.
+        assert results[200] < results[50] * 3
+
+    def test_exact_baseline_pays_linear_on_cycle(self):
+        # the contrast: exact maintenance touches the whole cycle.
+        initial, batches = cycle_toggle(200, 2)
+        z = ZhangExactDynamic()
+        z.initialize(initial)
+        before = z.tracker.work
+        for b in batches:
+            z.update(b)
+        per_toggle = (z.tracker.work - before) / len(batches)
+        assert per_toggle > 200  # Omega(n) per toggle
+
+    def test_cascade_chain(self):
+        initial, batches = cascade_chain(12, 4)
+        _drive(initial, batches)
+
+    def test_clique_pulse(self):
+        initial, batches = clique_pulse(10, 3)
+        _drive(initial, batches)
+
+    def test_clique_pulse_jump_strategy(self):
+        initial, batches = clique_pulse(10, 3)
+        _drive(initial, batches, insertion_strategy="jump")
+
+    def test_star_pulse(self):
+        initial, batches = star_pulse(60, 4)
+        plds, _ = _drive(initial, batches)
+        # hub has coreness 1; estimate must not explode with its degree
+        assert plds.coreness_estimate(0) <= plds.approximation_factor()
+
+    def test_pldsopt_under_adversary(self):
+        initial, batches = cycle_toggle(60, 5)
+        n_hint = 62
+        plds = PLDS(n_hint=n_hint, group_shrink=50)
+        plds.insert_edges(initial)
+        for b in batches:
+            plds.update(b)
+            assert not plds.check_invariants()

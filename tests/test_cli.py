@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestDatasets:
+    def test_lists_eleven(self, capsys):
+        code, out = run_cli(capsys, "datasets", "--scale", "0.15")
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 12  # header + 11 datasets
+        assert "dblp" in out and "friendster" in out
+
+    def test_scale_changes_sizes(self, capsys):
+        _, small = run_cli(capsys, "datasets", "--scale", "0.15")
+        _, large = run_cli(capsys, "datasets", "--scale", "0.3")
+        assert small != large
+
+
+class TestKcore:
+    def test_runs_on_dataset(self, capsys):
+        code, out = run_cli(
+            capsys, "kcore", "--dataset", "dblp", "--scale", "0.15",
+            "--algorithm", "pldsopt", "--protocol", "ins",
+        )
+        assert code == 0
+        assert "avg work / batch" in out
+        assert "error ratio" in out
+
+    @pytest.mark.parametrize("proto", ["ins", "del", "mix"])
+    def test_all_protocols(self, capsys, proto):
+        code, out = run_cli(
+            capsys, "kcore", "--dataset", "ctr", "--scale", "0.15",
+            "--protocol", proto,
+        )
+        assert code == 0
+        assert "batches processed" in out
+
+    def test_runs_on_edge_file(self, capsys, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n0 2\n2 3\n")
+        code, out = run_cli(capsys, "kcore", "--edges", str(path))
+        assert code == 0
+        assert "4 edges" in out
+
+    def test_unknown_dataset_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["kcore", "--dataset", "nope"])
+
+    def test_custom_parameters(self, capsys):
+        code, out = run_cli(
+            capsys, "kcore", "--dataset", "usa", "--scale", "0.15",
+            "--algorithm", "plds", "--delta", "0.8", "--lam", "6",
+            "--batch-size", "50", "--max-batches", "2",
+        )
+        assert code == 0
+        assert "batches processed : 2" in out
+
+
+class TestCompare:
+    def test_all_algorithms_listed(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "--dataset", "ctr", "--scale", "0.15",
+            "--max-batches", "2",
+        )
+        assert code == 0
+        for key in ("plds", "pldsopt", "lds", "sun", "hua", "zhang"):
+            assert key in out
+
+
+class TestScalability:
+    def test_speedup_table(self, capsys):
+        code, out = run_cli(
+            capsys, "scalability", "--dataset", "usa", "--scale", "0.15"
+        )
+        assert code == 0
+        assert "threads" in out
+        assert "60" in out
+
+
+class TestStatic:
+    def test_static_comparison(self, capsys):
+        code, out = run_cli(capsys, "static", "--dataset", "dblp", "--scale", "0.15")
+        assert code == 0
+        assert "ExactKCore" in out
+        assert "ApproxKCore" in out
+        assert "max error ratio" in out
+
+
+class TestAdversary:
+    @pytest.mark.parametrize("workload", ["cycle", "cascade", "clique", "star"])
+    def test_workloads_run(self, capsys, workload):
+        code, out = run_cli(
+            capsys, "adversary", "--workload", workload,
+            "--size", "20", "--rounds", "2",
+        )
+        assert code == 0
+        assert "invariants OK" in out
+        assert "Zhang" in out
+
+    def test_cycle_contrast_visible(self, capsys):
+        code, out = run_cli(
+            capsys, "adversary", "--workload", "cycle",
+            "--size", "120", "--rounds", "3",
+        )
+        lines = {l.split(":")[0].strip(): l for l in out.splitlines() if ":" in l}
+        plds_w = float(lines["PLDS  work/batch"].split(":")[1].split()[0])
+        zhang_w = float(lines["Zhang work/batch"].split(":")[1].split()[0])
+        assert zhang_w > 10 * plds_w
+
+
+class TestWindow:
+    def test_window_monitor_runs(self, capsys):
+        code, out = run_cli(
+            capsys, "window", "--dataset", "ctr", "--scale", "0.15",
+        )
+        assert code == 0
+        assert "sliding window" in out
+        assert "err avg" in out
+
+    def test_custom_window(self, capsys):
+        code, out = run_cli(
+            capsys, "window", "--dataset", "usa", "--scale", "0.15",
+            "--window", "40", "--batch-size", "10",
+        )
+        assert code == 0
+        assert "window=40" in out

@@ -1,0 +1,132 @@
+"""Tests for the table-hierarchy k-clique counter (Algorithms 12-13)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.framework import create_clique_driver, create_clique_tables_driver
+from repro.graphs.generators import erdos_renyi, planted_clique, ring_of_cliques
+from repro.graphs.streams import Batch
+
+
+def nx_clique_count(edges, k):
+    G = nx.Graph(list(edges))
+    if k == 2:
+        return G.number_of_edges()
+    return sum(1 for c in nx.enumerate_all_cliques(G) if len(c) == k)
+
+
+class TestBasics:
+    def test_single_triangle(self):
+        driver, c = create_clique_tables_driver(n_hint=10, k=3)
+        driver.update(Batch(insertions=[(0, 1), (1, 2)]))
+        assert c.count == 0
+        driver.update(Batch(insertions=[(0, 2)]))
+        assert c.count == 1
+        driver.update(Batch(deletions=[(0, 2)]))
+        assert c.count == 0
+
+    def test_k4_in_one_batch(self):
+        driver, c = create_clique_tables_driver(n_hint=10, k=4)
+        k5 = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        driver.update(Batch(insertions=k5))
+        assert c.count == 5  # C(5,4)
+
+    def test_k2_counts_edges(self):
+        driver, c = create_clique_tables_driver(n_hint=10, k=2)
+        driver.update(Batch(insertions=[(0, 1), (2, 3)]))
+        assert c.count == 2
+        driver.update(Batch(deletions=[(0, 1)]))
+        assert c.count == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            create_clique_tables_driver(n_hint=10, k=1)
+
+    def test_k5_ring_of_cliques(self):
+        driver, c = create_clique_tables_driver(n_hint=30, k=5)
+        driver.update(Batch(insertions=ring_of_cliques(4, 6)))
+        assert c.count == 4 * 6  # C(6,5) per clique
+
+
+class TestChurnExactness:
+    @pytest.mark.parametrize("k,seed", [(3, 1), (4, 2), (5, 3)])
+    def test_exact_under_churn(self, k, seed):
+        rng = random.Random(seed)
+        pool = planted_clique(35, 120, 8, seed=seed)
+        driver, c = create_clique_tables_driver(n_hint=45, k=k)
+        current: set = set()
+        for step in range(10):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(20, len(avail)))
+            dels = rng.sample(sorted(current), min(10, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            assert c.count == nx_clique_count(current, k), (k, step)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_tables_match_rebuild(self, k):
+        rng = random.Random(4)
+        pool = erdos_renyi(30, 160, seed=4)
+        driver, c = create_clique_tables_driver(n_hint=40, k=k)
+        current: set = set()
+        for step in range(8):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(25, len(avail)))
+            dels = rng.sample(sorted(current), min(12, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            ref = c.rebuild_tables_reference()
+            for j in c._tables:
+                assert c._tables[j] == ref[j], (k, step, j)
+
+    def test_flip_heavy_growth(self):
+        # growing a clique causes many orientation flips
+        driver, c = create_clique_tables_driver(n_hint=20, k=4)
+        n = 10
+        all_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng = random.Random(5)
+        rng.shuffle(all_edges)
+        current: set = set()
+        for i in range(0, len(all_edges), 8):
+            batch = all_edges[i : i + 8]
+            driver.update(Batch(insertions=batch))
+            current |= set(batch)
+            assert c.count == nx_clique_count(current, 4)
+        rng.shuffle(all_edges)
+        for i in range(0, len(all_edges), 8):
+            batch = all_edges[i : i + 8]
+            driver.update(Batch(deletions=batch))
+            current -= set(batch)
+            assert c.count == nx_clique_count(current, 4)
+
+
+class TestVariantAgreement:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_enumeration_variant(self, k):
+        rng = random.Random(6)
+        pool = erdos_renyi(30, 150, seed=6)
+        d1, tables = create_clique_tables_driver(n_hint=40, k=k)
+        d2, enum = create_clique_driver(n_hint=40, k=k)
+        current: set = set()
+        for step in range(8):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(20, len(avail)))
+            dels = rng.sample(sorted(current), min(10, len(current)))
+            batch1 = Batch(insertions=list(ins), deletions=list(dels))
+            batch2 = Batch(insertions=list(ins), deletions=list(dels))
+            d1.update(batch1)
+            d2.update(batch2)
+            current |= set(ins)
+            current -= set(dels)
+            assert tables.count == enum.count, (k, step)
+
+    def test_space_positive(self):
+        driver, c = create_clique_tables_driver(n_hint=10, k=4)
+        driver.update(Batch(insertions=[(0, 1), (0, 2), (1, 2)]))
+        assert c.space_bytes() > 0

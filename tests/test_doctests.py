@@ -1,0 +1,20 @@
+"""Run the executable examples embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.framework
+import repro.parallel.engine
+
+MODULES = [repro, repro.framework, repro.parallel.engine]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,100 @@
+"""Unit tests for the dynamic graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.dynamic_graph import DynamicGraph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_idempotent(self):
+        assert canonical_edge(*canonical_edge(9, 1)) == (1, 9)
+
+
+class TestEdges:
+    def test_insert_and_query(self):
+        g = DynamicGraph()
+        g.insert_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_construct_from_edges(self):
+        g = DynamicGraph([(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph()
+        with pytest.raises(ValueError):
+            g.insert_edge(3, 3)
+
+    def test_duplicate_rejected(self):
+        g = DynamicGraph([(1, 2)])
+        with pytest.raises(ValueError):
+            g.insert_edge(2, 1)
+
+    def test_delete(self):
+        g = DynamicGraph([(1, 2)])
+        g.delete_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_delete_missing_raises(self):
+        g = DynamicGraph()
+        with pytest.raises(ValueError):
+            g.delete_edge(1, 2)
+
+    def test_edges_iteration_canonical_unique(self):
+        g = DynamicGraph([(2, 1), (3, 1)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3)]
+
+    def test_degree_and_neighbors(self):
+        g = DynamicGraph([(0, 1), (0, 2)])
+        assert g.degree(0) == 2
+        assert g.neighbors(0) == {1, 2}
+        assert g.degree(99) == 0
+
+    def test_max_degree(self):
+        g = DynamicGraph([(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert DynamicGraph().max_degree() == 0
+
+
+class TestVertices:
+    def test_add_isolated_vertex(self):
+        g = DynamicGraph()
+        g.add_vertex(7)
+        assert g.has_vertex(7)
+        assert g.num_vertices == 1
+        assert g.degree(7) == 0
+
+    def test_add_vertex_idempotent(self):
+        g = DynamicGraph([(7, 8)])
+        g.add_vertex(7)
+        assert g.degree(7) == 1
+
+    def test_remove_vertex_returns_edges(self):
+        g = DynamicGraph([(0, 1), (0, 2), (1, 2)])
+        removed = g.remove_vertex(0)
+        assert sorted(removed) == [(0, 1), (0, 2)]
+        assert g.num_edges == 1
+        assert not g.has_vertex(0)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            DynamicGraph().remove_vertex(1)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        g = DynamicGraph([(0, 1)])
+        h = g.copy()
+        h.insert_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2

@@ -1,0 +1,139 @@
+"""Tests for batch-dynamic k-clique counting (Section 10)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.framework import create_clique_driver
+from repro.graphs.generators import erdos_renyi, planted_clique, ring_of_cliques
+from repro.graphs.streams import Batch
+
+
+def clique_count(edges, k):
+    G = nx.Graph(list(edges))
+    if k == 2:
+        return G.number_of_edges()
+    return sum(1 for c in nx.enumerate_all_cliques(G) if len(c) == k)
+
+
+class TestTriangleCounting:
+    def test_single_triangle(self):
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        driver.update(Batch(insertions=[(0, 1), (1, 2)]))
+        assert c.count == 0
+        driver.update(Batch(insertions=[(0, 2)]))
+        assert c.count == 1
+
+    def test_delete_breaks_triangle(self):
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        driver.update(Batch(insertions=[(0, 1), (1, 2), (0, 2)]))
+        driver.update(Batch(deletions=[(1, 2)]))
+        assert c.count == 0
+
+    def test_batch_with_shared_edges_counts_once(self):
+        # K4 inserted in one batch: 4 triangles, each spanning 3 new edges.
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        k4 = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        driver.update(Batch(insertions=k4))
+        assert c.count == 4
+
+    def test_mixed_batch(self):
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        driver.update(Batch(insertions=[(0, 1), (1, 2), (0, 2), (2, 3)]))
+        driver.update(Batch(insertions=[(1, 3)], deletions=[(0, 1)]))
+        # remaining: {1,2},{0,2},{2,3},{1,3}; triangles: {1,2,3}
+        assert c.count == 1
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_churn_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        pool = erdos_renyi(40, 250, seed=seed)
+        driver, c = create_clique_driver(n_hint=50, k=3)
+        current: set = set()
+        for step in range(15):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(25, len(avail)))
+            dels = rng.sample(sorted(current), min(12, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            assert c.count == clique_count(current, 3), step
+
+    def test_recount_oracle_agrees(self):
+        driver, c = create_clique_driver(n_hint=40, k=3)
+        driver.update(Batch(insertions=erdos_renyi(30, 150, seed=3)))
+        assert c.count == c.recount()
+
+
+class TestLargerCliques:
+    def test_k4_counting_on_planted_clique(self):
+        edges = planted_clique(40, 60, 6, seed=1)
+        driver, c = create_clique_driver(n_hint=50, k=4)
+        for i in range(0, len(edges), 40):
+            driver.update(Batch(insertions=edges[i : i + 40]))
+        assert c.count == clique_count(edges, 4)
+        # the planted K6 alone contributes C(6,4) = 15
+        assert c.count >= 15
+
+    def test_k4_deletion_churn(self):
+        edges = planted_clique(30, 40, 6, seed=2)
+        driver, c = create_clique_driver(n_hint=40, k=4)
+        driver.update(Batch(insertions=edges))
+        rng = random.Random(0)
+        current = set(edges)
+        for step in range(6):
+            dels = rng.sample(sorted(current), 8)
+            driver.update(Batch(deletions=dels))
+            current -= set(dels)
+            assert c.count == clique_count(current, 4), step
+
+    def test_k5_on_ring_of_cliques(self):
+        edges = ring_of_cliques(4, 6)
+        driver, c = create_clique_driver(n_hint=30, k=5)
+        driver.update(Batch(insertions=edges))
+        # each 6-clique holds C(6,5) = 6 5-cliques
+        assert c.count == 4 * 6
+
+    def test_k2_counts_edges(self):
+        driver, c = create_clique_driver(n_hint=10, k=2)
+        driver.update(Batch(insertions=[(0, 1), (1, 2)]))
+        assert c.count == 2
+        driver.update(Batch(deletions=[(0, 1)]))
+        assert c.count == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            create_clique_driver(n_hint=10, k=1)
+
+
+class TestFlipRobustness:
+    def test_count_survives_heavy_level_movement(self):
+        # Growing a clique forces many level moves and orientation flips;
+        # the count must stay exact throughout.
+        driver, c = create_clique_driver(n_hint=30, k=3)
+        n = 12
+        all_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng = random.Random(7)
+        rng.shuffle(all_edges)
+        current: set = set()
+        for i in range(0, len(all_edges), 10):
+            batch = all_edges[i : i + 10]
+            driver.update(Batch(insertions=batch))
+            current |= set(batch)
+            assert c.count == clique_count(current, 3)
+        # now unbuild it
+        rng.shuffle(all_edges)
+        for i in range(0, len(all_edges), 10):
+            batch = all_edges[i : i + 10]
+            driver.update(Batch(deletions=batch))
+            current -= set(batch)
+            assert c.count == clique_count(current, 3)
+        assert c.count == 0
+
+    def test_space_positive(self):
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        driver.update(Batch(insertions=[(0, 1), (0, 2)]))
+        assert c.space_bytes() > 0

@@ -1,0 +1,146 @@
+"""Tests for batch-dynamic vertex colorings (Section 11)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.orientation import degeneracy
+from repro.framework import (
+    create_explicit_coloring_driver,
+    create_implicit_coloring_driver,
+)
+from repro.graphs.generators import barabasi_albert, erdos_renyi, ring_of_cliques
+from repro.graphs.streams import Batch
+
+
+class TestExplicitColoring:
+    def test_proper_after_insertions(self):
+        driver, col = create_explicit_coloring_driver(n_hint=60)
+        edges = erdos_renyi(50, 200, seed=1)
+        for i in range(0, len(edges), 40):
+            driver.update(Batch(insertions=edges[i : i + 40]))
+            assert not col.violations()
+
+    def test_proper_after_deletions(self):
+        driver, col = create_explicit_coloring_driver(n_hint=60)
+        edges = erdos_renyi(50, 200, seed=1)
+        driver.update(Batch(insertions=edges))
+        for i in range(0, 120, 30):
+            driver.update(Batch(deletions=edges[i : i + 30]))
+            assert not col.violations()
+
+    def test_proper_under_mixed_churn(self):
+        rng = random.Random(2)
+        pool = erdos_renyi(60, 260, seed=3)
+        driver, col = create_explicit_coloring_driver(n_hint=70)
+        current: set = set()
+        for step in range(15):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(20, len(avail)))
+            dels = rng.sample(sorted(current), min(10, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            assert not col.violations(), step
+
+    def test_palette_bound_alpha_log_n(self):
+        # Theorem 3.7: O(α log n) colors.
+        edges = barabasi_albert(150, 4, seed=4)
+        driver, col = create_explicit_coloring_driver(n_hint=160)
+        driver.update(Batch(insertions=edges))
+        d = degeneracy(edges)
+        n = 150
+        budget = 60 * max(d, 1) * math.log2(n)
+        assert col.colors_used() <= budget
+
+    def test_same_level_palette_disjointness(self):
+        driver, col = create_explicit_coloring_driver(n_hint=40)
+        driver.update(Batch(insertions=ring_of_cliques(4, 5)))
+        for v in driver.plds.vertices():
+            level, idx = col.color(v)
+            assert level == driver.plds.level(v)
+            assert 0 <= idx < col.palette_size(level)
+
+    def test_color_id_unique_per_level_index(self):
+        driver, col = create_explicit_coloring_driver(n_hint=40)
+        driver.update(Batch(insertions=ring_of_cliques(4, 5)))
+        seen = {}
+        for v in driver.plds.vertices():
+            cid = col.color_id(v)
+            pair = col.color(v)
+            if cid in seen:
+                assert seen[cid] == pair
+            seen[cid] = pair
+
+    def test_deterministic_for_seed(self):
+        edges = erdos_renyi(30, 90, seed=5)
+        a_driver, a = create_explicit_coloring_driver(n_hint=40, seed=9)
+        b_driver, b = create_explicit_coloring_driver(n_hint=40, seed=9)
+        a_driver.update(Batch(insertions=edges))
+        b_driver.update(Batch(insertions=edges))
+        assert {v: a.color(v) for v in a_driver.plds.vertices()} == {
+            v: b.color(v) for v in b_driver.plds.vertices()
+        }
+
+    def test_space_positive(self):
+        driver, col = create_explicit_coloring_driver(n_hint=10)
+        driver.update(Batch(insertions=[(0, 1)]))
+        col.color(0)
+        assert col.space_bytes() > 0
+
+
+class TestImplicitColoring:
+    def test_proper_on_full_query(self):
+        driver, col = create_implicit_coloring_driver(n_hint=60)
+        edges = erdos_renyi(50, 200, seed=6)
+        driver.update(Batch(insertions=edges))
+        assert not col.violations()
+
+    def test_proper_after_churn(self):
+        rng = random.Random(3)
+        pool = erdos_renyi(50, 220, seed=7)
+        driver, col = create_implicit_coloring_driver(n_hint=60)
+        current: set = set()
+        for step in range(10):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(25, len(avail)))
+            dels = rng.sample(sorted(current), min(12, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            assert not col.violations(), step
+
+    def test_queries_mutually_consistent(self):
+        driver, col = create_implicit_coloring_driver(n_hint=40)
+        driver.update(Batch(insertions=erdos_renyi(30, 120, seed=8)))
+        vs = sorted(driver.plds.vertices())
+        first = col.query(vs[:10])
+        second = col.query(vs)  # superset query
+        for v, c in first.items():
+            assert second[v] == c
+
+    def test_palette_bounded_by_out_degree(self):
+        # Colors come from mex over out-neighbors: <= max out-degree + 1,
+        # which is O(α) — inside the O(2^α) budget of Theorem 3.5.
+        edges = barabasi_albert(120, 4, seed=9)
+        driver, col = create_implicit_coloring_driver(n_hint=130)
+        driver.update(Batch(insertions=edges))
+        colors = col.query(sorted(driver.plds.vertices()))
+        max_out = max(
+            len(driver.plds.out_neighbors(v)) for v in driver.plds.vertices()
+        )
+        assert max(colors.values()) <= max_out
+
+    def test_cache_invalidated_on_update(self):
+        driver, col = create_implicit_coloring_driver(n_hint=10)
+        driver.update(Batch(insertions=[(0, 1)]))
+        col.query([0, 1])
+        driver.update(Batch(insertions=[(1, 2), (0, 2)]))
+        assert not col.violations()
+
+    def test_triangle_uses_three_colors(self):
+        driver, col = create_implicit_coloring_driver(n_hint=10)
+        driver.update(Batch(insertions=[(0, 1), (1, 2), (0, 2)]))
+        colors = col.query([0, 1, 2])
+        assert len(set(colors.values())) == 3

@@ -1,0 +1,177 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orientation import degeneracy
+from repro.graphs.generators import (
+    barabasi_albert,
+    dataset_suite,
+    dense_cluster_graph,
+    erdos_renyi,
+    grid_2d,
+    planted_clique,
+    ring_of_cliques,
+    rmat,
+    small_world,
+)
+from repro.static_kcore.exact import exact_coreness
+
+
+def _valid(edges):
+    seen = set()
+    for u, v in edges:
+        assert u < v, f"non-canonical edge ({u},{v})"
+        assert (u, v) not in seen, f"duplicate edge ({u},{v})"
+        seen.add((u, v))
+
+
+class TestErdosRenyi:
+    def test_edge_count_exact(self):
+        assert len(erdos_renyi(50, 120, seed=1)) == 120
+
+    def test_validity(self):
+        _valid(erdos_renyi(50, 120, seed=1))
+
+    def test_deterministic(self):
+        assert erdos_renyi(40, 80, seed=7) == erdos_renyi(40, 80, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(40, 80, seed=1) != erdos_renyi(40, 80, seed=2)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 100)
+
+
+class TestBarabasiAlbert:
+    def test_validity(self):
+        _valid(barabasi_albert(200, 3, seed=0))
+
+    def test_power_law_hub_exists(self):
+        edges = barabasi_albert(500, 3, seed=0)
+        deg: dict[int, int] = {}
+        for u, v in edges:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        assert max(deg.values()) > 10 * (2 * len(edges) / len(deg)) / 2
+
+    def test_degeneracy_about_k(self):
+        edges = barabasi_albert(300, 4, seed=1)
+        assert 3 <= degeneracy(edges) <= 8
+
+    def test_requires_n_gt_k(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+
+class TestGrid:
+    def test_edge_count(self):
+        # rows*(cols-1) + (rows-1)*cols
+        assert len(grid_2d(4, 5)) == 4 * 4 + 3 * 5
+
+    def test_road_regime_max_core_2(self):
+        core = exact_coreness(grid_2d(12, 12))
+        assert max(core.values()) == 2
+
+    def test_validity(self):
+        _valid(grid_2d(7, 9))
+
+
+class TestRingOfCliques:
+    def test_known_coreness(self):
+        core = exact_coreness(ring_of_cliques(6, 5))
+        assert all(k == 4 for k in core.values())
+
+    def test_validity(self):
+        _valid(ring_of_cliques(6, 5))
+
+    def test_vertex_count(self):
+        edges = ring_of_cliques(4, 3)
+        vs = {x for e in edges for x in e}
+        assert len(vs) == 12
+
+
+class TestDenseCluster:
+    def test_high_degeneracy(self):
+        edges = dense_cluster_graph(3, 15, 30, seed=0)
+        assert degeneracy(edges) >= 14
+
+    def test_validity(self):
+        _valid(dense_cluster_graph(3, 10, 20, seed=0))
+
+
+class TestSmallWorld:
+    def test_validity(self):
+        _valid(small_world(100, 4, 0.2, seed=0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            small_world(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            small_world(4, 4, 0.1)  # k >= n
+
+    def test_rewire_zero_is_ring_lattice(self):
+        edges = small_world(20, 4, 0.0, seed=0)
+        assert len(edges) == 20 * 2
+
+
+class TestRmat:
+    def test_validity(self):
+        _valid(rmat(7, 4, seed=0))
+
+    def test_skewed_degrees(self):
+        edges = rmat(9, 8, seed=0)
+        deg: dict[int, int] = {}
+        for u, v in edges:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        avg = sum(deg.values()) / len(deg)
+        assert max(deg.values()) > 4 * avg
+
+
+class TestPlantedClique:
+    def test_clique_detected_by_coreness(self):
+        edges = planted_clique(200, 300, 12, seed=0)
+        core = exact_coreness(edges)
+        for v in range(12):
+            assert core[v] >= 11
+
+    def test_validity(self):
+        _valid(planted_clique(100, 150, 8, seed=1))
+
+
+class TestDatasetSuite:
+    def test_eleven_datasets(self):
+        suite = dataset_suite(scale=0.2)
+        assert len(suite) == 11
+
+    def test_names_match_paper(self):
+        papers = {d.paper_name for d in dataset_suite(scale=0.2)}
+        assert papers == {
+            "dblp", "brain", "wiki", "youtube", "stackoverflow",
+            "livejournal", "orkut", "ctr", "usa", "twitter", "friendster",
+        }
+
+    def test_road_analogs_have_tiny_cores(self):
+        suite = {d.paper_name: d for d in dataset_suite(scale=0.3)}
+        for name in ("ctr", "usa"):
+            assert degeneracy(suite[name].edges) <= 3
+
+    def test_brain_analog_is_densest(self):
+        suite = {d.paper_name: d for d in dataset_suite(scale=0.3)}
+        brain_d = degeneracy(suite["brain"].edges)
+        assert brain_d >= max(
+            degeneracy(suite[n].edges) for n in ("dblp", "youtube", "usa")
+        )
+
+    def test_all_valid_and_nonempty(self):
+        for d in dataset_suite(scale=0.2):
+            assert d.num_edges > 0, d.name
+            _valid(d.edges)
+
+    def test_deterministic(self):
+        a = dataset_suite(scale=0.2, seed=5)
+        b = dataset_suite(scale=0.2, seed=5)
+        assert all(x.edges == y.edges for x, y in zip(a, b))

@@ -1,0 +1,129 @@
+"""Hardening tests: odd inputs, determinism, and batch-validation atomicity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.plds import PLDS
+from repro.framework import create_clique_driver, create_matching_driver
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.streams import Batch
+from repro.static_kcore.exact import exact_coreness
+
+from .conftest import assert_no_violations, build_plds
+
+
+class TestArbitraryVertexIds:
+    def test_huge_sparse_ids(self):
+        base = 10**12
+        edges = [(base + 2 * i, base + 2 * i + 1) for i in range(20)]
+        edges += [(base, base + 3), (base + 1, base + 2)]
+        plds = PLDS(n_hint=64)
+        plds.update(Batch(insertions=edges))
+        assert_no_violations(plds)
+        assert plds.coreness_estimate(base) >= 1
+
+    def test_negative_ids(self):
+        plds = PLDS(n_hint=16)
+        plds.update(Batch(insertions=[(-5, -2), (-2, 7), (-5, 7)]))
+        assert_no_violations(plds)
+        exact = exact_coreness([(-5, -2), (-2, 7), (-5, 7)])
+        assert exact[-5] == 2
+        assert plds.coreness_estimate(-5) > 0
+
+    def test_framework_with_sparse_ids(self):
+        driver, m = create_matching_driver(n_hint=32)
+        driver.update(Batch(insertions=[(1000, 2000), (2000, 3000)]))
+        assert not m.violations()
+
+
+class TestBatchValidationAtomicity:
+    def test_invalid_batch_rejected_before_mutation(self):
+        plds = build_plds([(0, 1), (1, 2)])
+        snapshot = plds.to_snapshot()
+        with pytest.raises(ValueError):
+            plds.update(Batch(insertions=[(5, 6), (0, 1)]))  # (0,1) exists
+        assert plds.to_snapshot() == snapshot  # nothing changed
+
+    def test_duplicate_insertions_in_batch_rejected(self):
+        plds = PLDS(n_hint=8)
+        with pytest.raises(ValueError):
+            plds.update(Batch(insertions=[(0, 1), (1, 0)]))
+
+    def test_duplicate_deletions_in_batch_rejected(self):
+        plds = build_plds([(0, 1)])
+        with pytest.raises(ValueError):
+            plds.update(Batch(deletions=[(0, 1), (1, 0)]))
+
+    def test_insert_and_delete_same_edge_rejected(self):
+        plds = PLDS(n_hint=8)
+        with pytest.raises(ValueError):
+            plds.update(Batch(insertions=[(0, 1)], deletions=[(0, 1)]))
+
+    def test_delete_missing_rejected_before_mutation(self):
+        plds = build_plds([(0, 1)])
+        with pytest.raises(ValueError):
+            plds.update(Batch(insertions=[(2, 3)], deletions=[(4, 5)]))
+        assert not plds.has_edge(2, 3)  # insertion did not happen
+
+
+class TestDeterminism:
+    def test_plds_fully_deterministic(self):
+        edges = erdos_renyi(80, 320, seed=9)
+
+        def run():
+            plds = PLDS(n_hint=90, track_orientation=True)
+            rng = random.Random(3)
+            order = list(edges)
+            rng.shuffle(order)
+            for i in range(0, len(order), 37):
+                plds.update(Batch(insertions=order[i : i + 37]))
+            plds.update(Batch(deletions=order[:100]))
+            return plds.to_snapshot()
+
+        assert run() == run()
+
+    def test_clique_counter_deterministic(self):
+        edges = erdos_renyi(40, 160, seed=10)
+
+        def run():
+            driver, c = create_clique_driver(n_hint=50, k=3)
+            for i in range(0, len(edges), 40):
+                driver.update(Batch(insertions=edges[i : i + 40]))
+            return c.count, driver.tracker.work
+
+        assert run() == run()
+
+    def test_matching_deterministic_for_seed(self):
+        edges = erdos_renyi(40, 160, seed=11)
+
+        def run(seed):
+            driver, m = create_matching_driver(n_hint=50, seed=seed)
+            driver.update(Batch(insertions=edges))
+            return sorted(m.matching())
+
+        assert run(5) == run(5)
+
+
+class TestEmptyAndDegenerateBatches:
+    def test_empty_batch_is_noop(self):
+        plds = build_plds([(0, 1)])
+        before = plds.to_snapshot()
+        plds.update(Batch())
+        assert plds.to_snapshot() == before
+
+    def test_single_vertex_graph(self):
+        plds = PLDS(n_hint=2)
+        plds.insert_vertices([0])
+        assert plds.coreness_estimate(0) == 0.0
+        assert not plds.check_invariants()
+
+    def test_two_node_toggle_many_times(self):
+        plds = PLDS(n_hint=4, track_orientation=True)
+        for _ in range(30):
+            plds.update(Batch(insertions=[(0, 1)]))
+            plds.update(Batch(deletions=[(0, 1)]))
+        assert plds.num_edges == 0
+        assert not plds.check_invariants()

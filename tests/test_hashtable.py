@@ -1,0 +1,106 @@
+"""Unit tests for the metered parallel hash tables."""
+
+from __future__ import annotations
+
+from repro.parallel.hashtable import (
+    LOG_STAR_DEPTH,
+    ParallelHashMap,
+    ParallelHashSet,
+)
+
+
+class TestParallelHashSet:
+    def test_construct_with_items(self, tracker):
+        s = ParallelHashSet(tracker, [1, 2, 3])
+        assert len(s) == 3
+
+    def test_add_discard_contains(self, tracker):
+        s = ParallelHashSet(tracker)
+        s.add(7)
+        assert 7 in s
+        s.discard(7)
+        assert 7 not in s
+
+    def test_discard_missing_is_noop(self, tracker):
+        s = ParallelHashSet(tracker)
+        s.discard(99)
+        assert len(s) == 0
+
+    def test_add_batch(self, tracker):
+        s = ParallelHashSet(tracker)
+        s.add_batch(range(10))
+        assert len(s) == 10
+
+    def test_batch_depth_is_log_star(self, tracker):
+        s = ParallelHashSet(tracker)
+        before = tracker.depth
+        s.add_batch(range(100))
+        assert tracker.depth - before == LOG_STAR_DEPTH
+
+    def test_batch_work_is_linear(self, tracker):
+        s = ParallelHashSet(tracker)
+        before = tracker.work
+        s.add_batch(range(100))
+        assert tracker.work - before == 100
+
+    def test_discard_batch(self, tracker):
+        s = ParallelHashSet(tracker, range(10))
+        s.discard_batch([0, 1, 2, 99])
+        assert len(s) == 7
+
+    def test_contains_batch(self, tracker):
+        s = ParallelHashSet(tracker, [1, 3])
+        assert s.contains_batch([1, 2, 3]) == [True, False, True]
+
+    def test_iteration_and_bool(self, tracker):
+        s = ParallelHashSet(tracker, [5])
+        assert bool(s)
+        assert list(s) == [5]
+
+    def test_as_set_is_live_view(self, tracker):
+        s = ParallelHashSet(tracker, [1])
+        s.add(2)
+        assert s.as_set() == {1, 2}
+
+
+class TestParallelHashMap:
+    def test_set_get(self, tracker):
+        m = ParallelHashMap(tracker)
+        m["a"] = 1
+        assert m["a"] == 1
+
+    def test_contains_and_get_default(self, tracker):
+        m = ParallelHashMap(tracker)
+        assert "x" not in m
+        assert m.get("x", -1) == -1
+
+    def test_delete(self, tracker):
+        m = ParallelHashMap(tracker)
+        m["a"] = 1
+        del m["a"]
+        assert "a" not in m
+
+    def test_set_batch(self, tracker):
+        m = ParallelHashMap(tracker)
+        m.set_batch([(i, i * i) for i in range(5)])
+        assert m[3] == 9
+
+    def test_delete_batch_ignores_missing(self, tracker):
+        m = ParallelHashMap(tracker)
+        m.set_batch([(1, 1), (2, 2)])
+        m.delete_batch([2, 3])
+        assert len(m) == 1
+
+    def test_items_iteration(self, tracker):
+        m = ParallelHashMap(tracker)
+        m.set_batch([(1, "a")])
+        assert list(m.items()) == [(1, "a")]
+        assert list(m) == [1]
+
+    def test_batch_costs(self, tracker):
+        m = ParallelHashMap(tracker)
+        before = tracker.cost
+        m.set_batch([(i, i) for i in range(50)])
+        delta = tracker.delta(before)
+        assert delta.work == 50
+        assert delta.depth == LOG_STAR_DEPTH

@@ -1,0 +1,170 @@
+"""Cross-module integration scenarios.
+
+End-to-end runs combining generators, streams, the PLDS, baselines, and
+the framework — the scenarios the paper's narrative leans on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bench.harness import make_adapter, run_protocol
+from repro.bench.metrics import error_stats
+from repro.core.invariants import approximation_violations
+from repro.core.plds import PLDS
+from repro.framework import create_clique_driver, create_matching_driver
+from repro.graphs.generators import dataset_suite, erdos_renyi
+from repro.graphs.streams import (
+    Batch,
+    deletion_batches,
+    insertion_batches,
+    mixed_batch,
+)
+from repro.parallel.scheduler import BrentScheduler
+from repro.static_kcore.exact import exact_coreness
+
+from .conftest import assert_no_violations
+
+
+class TestFullProtocolRuns:
+    @pytest.mark.parametrize("protocol", ["ins", "del", "mix"])
+    def test_plds_protocol_run_healthy(self, protocol):
+        edges = erdos_renyi(100, 400, seed=1)
+        res = run_protocol(
+            lambda: make_adapter("plds", 110), edges, protocol, batch_size=80
+        )
+        assert res.batches
+        if res.errors is not None and res.errors.vertices_measured:
+            assert res.errors.maximum <= 4.2 + 1e-9
+
+    def test_all_algorithms_agree_on_regime(self):
+        # Approximate algorithms within their factors; exact ones exact.
+        edges = erdos_renyi(80, 320, seed=2)
+        exact = exact_coreness(edges)
+        for key, factor in [
+            ("plds", 4.2),
+            ("lds", 4.2),
+            ("sun", 9.0),
+            ("hua", 1.0),
+            ("zhang", 1.0),
+        ]:
+            adapter = make_adapter(key, 90)
+            adapter.initialize(edges)
+            stats = error_stats(adapter.estimates(), exact)
+            assert stats.maximum <= factor + 1e-9, (key, stats)
+
+
+class TestDatasetSuiteIntegration:
+    def test_plds_handles_every_analog_dataset(self):
+        for spec in dataset_suite(scale=0.12):
+            edges = spec.edges
+            plds = PLDS(n_hint=spec.num_vertices + 1)
+            bs = max(1, len(edges) // 3)
+            for i in range(0, len(edges), bs):
+                plds.update(Batch(insertions=edges[i : i + bs]))
+            assert_no_violations(plds, spec.name)
+            exact = exact_coreness(edges)
+            assert not approximation_violations(
+                plds.coreness_estimates(), exact, plds.approximation_factor()
+            ), spec.name
+
+
+class TestScalabilityNarrative:
+    def test_plds_scales_better_than_sequential_baselines(self):
+        # Simulated 16-thread time: PLDS should beat LDS and Zhang, as the
+        # paper's Fig. 10 shows for real threads.
+        edges = erdos_renyi(120, 500, seed=3)
+        sched = BrentScheduler()
+        times = {}
+        for key in ("plds", "lds", "zhang"):
+            res = run_protocol(
+                lambda k=key: make_adapter(k, 130), edges, "ins", batch_size=250
+            )
+            p = 1 if key in ("lds", "zhang") else 16
+            times[key] = sched.time(res.total_cost, p)
+        assert times["plds"] < times["lds"]
+        assert times["plds"] < times["zhang"]
+
+    def test_hua_speedup_saturates_below_plds(self):
+        # Paper Section 6.4: Hua self-relative speedup caps around 3.6x
+        # while the PLDS keeps scaling.
+        edges = erdos_renyi(120, 500, seed=4)
+        sched = BrentScheduler()
+        speedups = {}
+        for key in ("plds", "hua"):
+            res = run_protocol(
+                lambda k=key: make_adapter(k, 130), edges, "ins", batch_size=500
+            )
+            speedups[key] = sched.speedup(res.total_cost, 60)
+        assert speedups["plds"] > speedups["hua"]
+
+
+class TestStreamsAgainstStructures:
+    def test_ins_then_del_protocol_roundtrip(self):
+        edges = erdos_renyi(70, 280, seed=5)
+        plds = PLDS(n_hint=80)
+        for b in insertion_batches(edges, 64, seed=1):
+            plds.update(b)
+        assert plds.num_edges == len(edges)
+        for b in deletion_batches(edges, 64, seed=1):
+            plds.update(b)
+        assert plds.num_edges == 0
+        assert_no_violations(plds)
+
+    def test_mix_protocol_on_framework(self):
+        edges = erdos_renyi(70, 280, seed=6)
+        initial, batch = mixed_batch(edges, 60, seed=2)
+        driver, m = create_matching_driver(n_hint=80)
+        driver.update(Batch(insertions=initial))
+        driver.update(batch)
+        assert not m.violations()
+
+
+class TestMultipleAppsOneGraphStream:
+    def test_matching_and_cliques_share_update_stream(self):
+        rng = random.Random(9)
+        pool = erdos_renyi(50, 200, seed=7)
+        d1, matching = create_matching_driver(n_hint=60)
+        d2, cliques = create_clique_driver(n_hint=60, k=3)
+        current: set = set()
+        for _ in range(10):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(15, len(avail)))
+            dels = rng.sample(sorted(current), min(7, len(current)))
+            batch = Batch(insertions=ins, deletions=dels)
+            d1.update(batch)
+            d2.update(batch)
+            current |= set(ins)
+            current -= set(dels)
+            assert not matching.violations()
+        import networkx as nx
+
+        G = nx.Graph(sorted(current))
+        assert cliques.count == sum(nx.triangles(G).values()) // 3
+
+
+class TestWorkBoundsNarrative:
+    def test_plds_amortized_work_polylog(self):
+        # Theorem 3.1: O(|B| log^2 n) amortized work per batch.
+        edges = erdos_renyi(200, 800, seed=8)
+        plds = PLDS(n_hint=210)
+        batches = insertion_batches(edges, 100, seed=3)
+        for b in batches:
+            plds.update(b)
+        log2n = math.log2(200) ** 2
+        amortized = plds.tracker.work / len(edges)
+        assert amortized <= 40 * log2n  # generous constant
+
+    def test_depth_polylog_per_batch(self):
+        edges = erdos_renyi(200, 800, seed=8)
+        plds = PLDS(n_hint=210)
+        worst_depth = 0
+        for b in insertion_batches(edges, 100, seed=3):
+            before = plds.tracker.depth
+            plds.update(b)
+            worst_depth = max(worst_depth, plds.tracker.depth - before)
+        budget = 40 * math.log2(200) ** 2 * math.log2(math.log2(200) + 2)
+        assert worst_depth <= budget

@@ -1,0 +1,52 @@
+"""Unit tests for edge-list IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestReadEdgeList:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        edges = [(0, 1), (1, 2), (0, 5)]
+        write_edge_list(path, edges)
+        assert read_edge_list(path) == edges
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP comment\n% matrix comment\n1 2\n")
+        assert read_edge_list(path) == [(1, 2)]
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 3\n1 2\n")
+        assert read_edge_list(path) == [(1, 2)]
+
+    def test_duplicates_and_reverses_deduped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 1\n1 2\n")
+        assert read_edge_list(path) == [(1, 2)]
+
+    def test_canonicalizes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("9 4\n")
+        assert read_edge_list(path) == [(4, 9)]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n1 2\n\n")
+        assert read_edge_list(path) == [(1, 2)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        # SNAP temporal files carry a timestamp third column.
+        path = tmp_path / "g.txt"
+        path.write_text("1 2 1093939\n")
+        assert read_edge_list(path) == [(1, 2)]

@@ -1,0 +1,106 @@
+"""Tests for per-vertex (local) clique counting and clustering coefficients."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.framework import create_clique_driver
+from repro.graphs.generators import erdos_renyi, planted_clique
+from repro.graphs.streams import Batch
+
+
+class TestLocalTriangleCounts:
+    def test_single_triangle(self):
+        driver, c = create_clique_driver(n_hint=10, k=3, track_local=True)
+        driver.update(Batch(insertions=[(0, 1), (1, 2), (0, 2), (2, 3)]))
+        assert c.local_count(0) == 1
+        assert c.local_count(2) == 1
+        assert c.local_count(3) == 0
+
+    def test_matches_networkx_under_churn(self):
+        rng = random.Random(2)
+        pool = erdos_renyi(40, 240, seed=2)
+        driver, c = create_clique_driver(n_hint=50, k=3, track_local=True)
+        current: set = set()
+        for step in range(12):
+            avail = [e for e in pool if e not in current]
+            ins = rng.sample(avail, min(25, len(avail)))
+            dels = rng.sample(sorted(current), min(12, len(current)))
+            driver.update(Batch(insertions=ins, deletions=dels))
+            current |= set(ins)
+            current -= set(dels)
+            G = nx.Graph(sorted(current))
+            expected = nx.triangles(G)
+            for v in G.nodes:
+                assert c.local_count(v) == expected[v], (step, v)
+
+    def test_local_recount_oracle_agrees(self):
+        driver, c = create_clique_driver(n_hint=40, k=3, track_local=True)
+        driver.update(Batch(insertions=erdos_renyi(30, 160, seed=3)))
+        assert c.local_counts == c.local_recount()
+
+    def test_sum_of_locals_is_k_times_count(self):
+        driver, c = create_clique_driver(n_hint=40, k=3, track_local=True)
+        driver.update(Batch(insertions=erdos_renyi(30, 160, seed=4)))
+        assert sum(c.local_counts.values()) == 3 * c.count
+
+    def test_k4_local_counts(self):
+        edges = planted_clique(30, 40, 6, seed=5)
+        driver, c = create_clique_driver(n_hint=40, k=4, track_local=True)
+        for i in range(0, len(edges), 30):
+            driver.update(Batch(insertions=edges[i : i + 30]))
+        assert c.local_counts == c.local_recount()
+        # every member of the planted K6 is in at least C(5,3)=10 K4s
+        for v in range(6):
+            assert c.local_count(v) >= 10
+
+    def test_flip_heavy_workload_keeps_locals_exact(self):
+        driver, c = create_clique_driver(n_hint=30, k=3, track_local=True)
+        n = 10
+        all_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng = random.Random(7)
+        rng.shuffle(all_edges)
+        for i in range(0, len(all_edges), 9):
+            driver.update(Batch(insertions=all_edges[i : i + 9]))
+            assert c.local_counts == c.local_recount()
+
+
+class TestClusteringCoefficient:
+    def test_triangle_has_coefficient_one(self):
+        driver, c = create_clique_driver(n_hint=10, k=3, track_local=True)
+        driver.update(Batch(insertions=[(0, 1), (1, 2), (0, 2)]))
+        assert c.clustering_coefficient(0) == 1.0
+
+    def test_star_center_zero(self):
+        driver, c = create_clique_driver(n_hint=10, k=3, track_local=True)
+        driver.update(Batch(insertions=[(0, 1), (0, 2), (0, 3)]))
+        assert c.clustering_coefficient(0) == 0.0
+
+    def test_degree_below_two_zero(self):
+        driver, c = create_clique_driver(n_hint=10, k=3, track_local=True)
+        driver.update(Batch(insertions=[(0, 1)]))
+        assert c.clustering_coefficient(0) == 0.0
+
+    def test_matches_networkx(self):
+        edges = erdos_renyi(40, 200, seed=6)
+        driver, c = create_clique_driver(n_hint=50, k=3, track_local=True)
+        driver.update(Batch(insertions=edges))
+        G = nx.Graph(edges)
+        expected = nx.clustering(G)
+        for v in G.nodes:
+            assert c.clustering_coefficient(v) == pytest.approx(expected[v])
+
+    def test_requires_k3(self):
+        driver, c = create_clique_driver(n_hint=10, k=4, track_local=True)
+        with pytest.raises(RuntimeError):
+            c.clustering_coefficient(0)
+
+    def test_requires_track_local(self):
+        driver, c = create_clique_driver(n_hint=10, k=3)
+        with pytest.raises(RuntimeError):
+            c.local_count(0)
+        with pytest.raises(RuntimeError):
+            c.clustering_coefficient(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the Brent-bound scheduler simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.engine import Cost
+from repro.parallel.scheduler import BrentScheduler, speedup_curve
+
+
+class TestBrentScheduler:
+    def test_one_processor_time_is_work_plus_depth(self):
+        s = BrentScheduler()
+        assert s.time(Cost(100, 10), 1) == 110.0
+
+    def test_time_decreases_with_processors(self):
+        s = BrentScheduler()
+        c = Cost(10_000, 10)
+        times = [s.time(c, p) for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_at_one_is_unity(self):
+        s = BrentScheduler()
+        assert s.speedup(Cost(1000, 5), 1) == 1.0
+
+    def test_speedup_bounded_by_processors(self):
+        s = BrentScheduler()
+        c = Cost(10_000, 1)
+        for p in (2, 4, 16):
+            assert s.speedup(c, p) <= p + 1e-9
+
+    def test_depth_bounds_speedup(self):
+        # With depth == work, no parallelism is available.
+        s = BrentScheduler()
+        c = Cost(1000, 1000)
+        assert s.speedup(c, 64) < 2.0
+
+    def test_low_depth_scales_nearly_linearly(self):
+        s = BrentScheduler()
+        c = Cost(1_000_000, 10)
+        assert s.speedup(c, 8) > 7.5
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            BrentScheduler().time(Cost(1, 1), 0)
+
+    def test_hyperthreading_diminishes_returns(self):
+        s = BrentScheduler(hyperthread_cores=4, hyperthread_yield=0.25)
+        assert s.effective_processors(4) == 4
+        assert s.effective_processors(8) == 5.0
+
+    def test_overhead_penalizes_high_p(self):
+        cheap = BrentScheduler()
+        costly = BrentScheduler(overhead_per_processor=50)
+        c = Cost(1000, 1)
+        assert costly.time(c, 16) > cheap.time(c, 16)
+
+    def test_speedup_curve_shape(self):
+        curve = speedup_curve(Cost(100_000, 100), [1, 2, 4, 8])
+        ps = [p for p, _ in curve]
+        sp = [s for _, s in curve]
+        assert ps == [1, 2, 4, 8]
+        assert sp[0] == 1.0
+        assert all(sp[i] <= sp[i + 1] for i in range(len(sp) - 1))

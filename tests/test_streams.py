@@ -1,0 +1,113 @@
+"""Unit tests for update-stream generation and batch preprocessing."""
+
+from __future__ import annotations
+
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.streams import (
+    Batch,
+    EdgeUpdate,
+    deletion_batches,
+    insertion_batches,
+    mixed_batch,
+    preprocess_batch,
+)
+
+EDGES = erdos_renyi(60, 150, seed=3)
+
+
+class TestInsertionBatches:
+    def test_covers_all_edges_once(self):
+        batches = insertion_batches(EDGES, 40, seed=1)
+        flat = [e for b in batches for e in b.insertions]
+        assert sorted(flat) == sorted(EDGES)
+
+    def test_batch_sizes(self):
+        batches = insertion_batches(EDGES, 40, seed=1)
+        assert [len(b) for b in batches] == [40, 40, 40, 30]
+
+    def test_temporal_preserves_order(self):
+        batches = insertion_batches(EDGES, 50, temporal=True)
+        flat = [e for b in batches for e in b.insertions]
+        assert flat == list(EDGES)
+
+    def test_shuffle_is_seeded(self):
+        a = insertion_batches(EDGES, 40, seed=1)
+        b = insertion_batches(EDGES, 40, seed=1)
+        assert all(x.insertions == y.insertions for x, y in zip(a, b))
+
+    def test_no_deletions(self):
+        assert all(not b.deletions for b in insertion_batches(EDGES, 40))
+
+
+class TestDeletionBatches:
+    def test_covers_all_edges_once(self):
+        batches = deletion_batches(EDGES, 33, seed=1)
+        flat = [e for b in batches for e in b.deletions]
+        assert sorted(flat) == sorted(EDGES)
+
+    def test_no_insertions(self):
+        assert all(not b.insertions for b in deletion_batches(EDGES, 33))
+
+
+class TestMixedBatch:
+    def test_half_and_half(self):
+        initial, batch = mixed_batch(EDGES, 40, seed=1)
+        assert len(batch.insertions) == 20
+        assert len(batch.deletions) == 20
+
+    def test_insertions_absent_from_initial(self):
+        initial, batch = mixed_batch(EDGES, 40, seed=1)
+        initial_set = set(initial)
+        assert all(e not in initial_set for e in batch.insertions)
+
+    def test_deletions_present_in_initial(self):
+        initial, batch = mixed_batch(EDGES, 40, seed=1)
+        initial_set = set(initial)
+        assert all(e in initial_set for e in batch.deletions)
+
+    def test_disjoint_insert_delete(self):
+        _, batch = mixed_batch(EDGES, 40, seed=1)
+        assert not (set(batch.insertions) & set(batch.deletions))
+
+
+class TestPreprocessBatch:
+    def test_latest_timestamp_wins(self):
+        g = DynamicGraph()
+        ups = [
+            EdgeUpdate(1, 2, is_insert=True, timestamp=0),
+            EdgeUpdate(2, 1, is_insert=False, timestamp=1),
+        ]
+        batch = preprocess_batch(g, ups)
+        # final action is a delete of a non-existent edge -> dropped
+        assert len(batch) == 0
+
+    def test_insert_of_existing_edge_dropped(self):
+        g = DynamicGraph([(1, 2)])
+        batch = preprocess_batch(g, [EdgeUpdate(1, 2, True)])
+        assert len(batch) == 0
+
+    def test_delete_of_existing_edge_kept(self):
+        g = DynamicGraph([(1, 2)])
+        batch = preprocess_batch(g, [EdgeUpdate(2, 1, False)])
+        assert batch.deletions == [(1, 2)]
+
+    def test_valid_insert_kept(self):
+        g = DynamicGraph()
+        batch = preprocess_batch(g, [EdgeUpdate(3, 4, True)])
+        assert batch.insertions == [(3, 4)]
+
+    def test_duplicate_updates_collapse(self):
+        g = DynamicGraph()
+        ups = [
+            EdgeUpdate(1, 2, True, timestamp=0),
+            EdgeUpdate(1, 2, False, timestamp=1),
+            EdgeUpdate(1, 2, True, timestamp=2),
+        ]
+        batch = preprocess_batch(g, ups)
+        assert batch.insertions == [(1, 2)]
+        assert not batch.deletions
+
+    def test_batch_len(self):
+        b = Batch(insertions=[(0, 1)], deletions=[(2, 3), (4, 5)])
+        assert len(b) == 3

@@ -1,0 +1,65 @@
+"""Suite-wide integration: every framework app over every analog dataset.
+
+The heavyweight cross-product smoke: for each of the 11 dataset analogs
+(at a small scale), run a mixed churn through the PLDS and one framework
+application, verifying correctness oracles at the end.  Catches
+interactions that per-module tests miss (e.g. dense brain-analog levels
+vs road-analog levels exercising different group ranges).
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.framework import (
+    create_clique_driver,
+    create_explicit_coloring_driver,
+    create_matching_driver,
+)
+from repro.graphs.generators import dataset_suite
+from repro.graphs.streams import Batch
+
+SUITE = dataset_suite(scale=0.08, seed=7)
+
+
+def churn(driver, edges, seed=0, rounds=4):
+    rng = random.Random(seed)
+    current: set = set()
+    order = list(edges)
+    rng.shuffle(order)
+    step = max(1, len(order) // rounds)
+    for i in range(0, len(order), step):
+        ins = order[i : i + step]
+        dels = rng.sample(sorted(current), min(len(current) // 4, step // 2))
+        ins = [e for e in ins if e not in current]
+        driver.update(Batch(insertions=ins, deletions=dels))
+        current |= set(ins)
+        current -= set(dels)
+    return current
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.paper_name)
+def test_matching_on_every_dataset(spec):
+    driver, m = create_matching_driver(n_hint=spec.num_vertices + 1)
+    churn(driver, spec.edges, seed=1)
+    assert not m.violations(), spec.name
+    assert not driver.plds.check_invariants(), spec.name
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.paper_name)
+def test_triangles_on_every_dataset(spec):
+    driver, c = create_clique_driver(n_hint=spec.num_vertices + 1, k=3)
+    current = churn(driver, spec.edges, seed=2)
+    G = nx.Graph(sorted(current))
+    expected = sum(nx.triangles(G).values()) // 3
+    assert c.count == expected, spec.name
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.paper_name)
+def test_coloring_on_every_dataset(spec):
+    driver, col = create_explicit_coloring_driver(n_hint=spec.num_vertices + 1)
+    churn(driver, spec.edges, seed=3)
+    assert not col.violations(), spec.name
