@@ -13,6 +13,10 @@ Commands
     Simulated self-relative speedup curves (Figure 10 analog).
 ``static``
     Static exact vs approximate k-core comparison on one dataset.
+``bench``
+    Perf-regression suite: time the canonical workloads and write a
+    ``BENCH_<label>.json`` trajectory point, optionally comparing
+    against a previous one.
 
 Examples
 --------
@@ -248,6 +252,72 @@ def cmd_window(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import os
+
+    from .bench.perfsuite import (
+        BenchReport,
+        DEFAULT_ALGOS,
+        WORKLOADS,
+        compare_bench,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    algos = tuple(args.algos.split(",")) if args.algos else DEFAULT_ALGOS
+    workloads = (
+        tuple(args.workloads.split(",")) if args.workloads else WORKLOADS
+    )
+    for w in workloads:
+        if w not in WORKLOADS:
+            raise SystemExit(f"unknown workload {w!r}; choose from {WORKLOADS}")
+    if args.repeats < 1:
+        raise SystemExit("--repeats must be >= 1")
+    # Validate the baseline before the (possibly long) suite run, not after.
+    if args.baseline and not os.path.exists(args.baseline):
+        raise SystemExit(f"baseline not found: {args.baseline}")
+    print(
+        f"perfsuite: scale={args.scale} repeats={args.repeats} "
+        f"algos={','.join(algos)}"
+    )
+    entries = run_suite(
+        scale=args.scale,
+        algos=algos,
+        workloads=workloads,
+        repeats=args.repeats,
+        progress=lambda line: print(f"  {line}"),
+    )
+    report = BenchReport(label=args.label, scale=args.scale, entries=entries)
+    out_path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
+    write_bench(out_path, report)
+    print(f"wrote {out_path}")
+
+    if not args.baseline:
+        return 0
+    baseline = load_bench(args.baseline)
+    cmp = compare_bench(report, baseline, tolerance=args.tolerance)
+    for workload, algo in cmp.missing:
+        print(f"  MISSING    {workload}/{algo}: in baseline but not rerun")
+    for c in cmp.improvements:
+        if c.metric == "wall_s":
+            print(
+                f"  improved   {c.workload}/{c.algo} {c.metric}: "
+                f"{c.baseline:.3f} -> {c.current:.3f} ({1 / c.ratio:.2f}x faster)"
+            )
+    for c in cmp.regressions:
+        print(
+            f"  REGRESSION {c.workload}/{c.algo} {c.metric}: "
+            f"{c.baseline:.3f} -> {c.current:.3f} "
+            f"(+{(c.ratio - 1) * 100:.0f}% > {args.tolerance * 100:.0f}% tolerance)"
+        )
+    if cmp.missing or not cmp.ok:
+        print("perf regression check: FAIL")
+        return 1
+    print("perf regression check: OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -310,6 +380,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_input(p)
     p.add_argument("--window", type=int, default=None)
     p.set_defaults(fn=cmd_window)
+
+    p = sub.add_parser(
+        "bench", help="perf-regression suite (writes BENCH_<label>.json)"
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier")
+    p.add_argument("--label", default="local",
+                   help="output file is BENCH_<label>.json")
+    p.add_argument("--output-dir", default=".",
+                   help="directory for the BENCH json (default: cwd)")
+    p.add_argument("--algos", default=None,
+                   help="comma-separated algorithm keys (default: plds,pldsopt,lds)")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload keys (default: all six)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="wall-clock repeats per cell; best is recorded")
+    p.add_argument("--baseline", default=None,
+                   help="previous BENCH json to compare against")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed relative growth before a metric regresses")
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

@@ -63,21 +63,33 @@ class LDS(PLDS):
     # -- cascades (sequential: depth is charged equal to work) ----------
 
     def _fix_insertion_cascade(self, seeds: set[int], moved: set[int]) -> None:
+        tracker = self.tracker
+        bounds = self._inv1_bound_int
         queue = set(seeds)
         while queue:
             v = queue.pop()
             rec = self._vertices.get(v)
             if rec is None:
                 continue
-            while len(rec.up) > self.inv1_bound(rec.level):
-                before = self.tracker.work
+            while len(rec.up) > bounds[rec.level]:
+                before = tracker.work
                 marked = self._move_up(v)
                 # sequential: the move contributes its work to the depth too
-                self.tracker.add(work=0, depth=self.tracker.work - before)
+                tracker.add(work=0, depth=tracker.work - before)
                 moved.add(v)
-                queue.update(marked)
+                # _move_up appends v's own record (last) when it still
+                # violates; this while loop already re-lifts v, so drop
+                # it to keep the queue contents (and hence cascade order)
+                # unchanged.  The queue holds ids, not records: set-pop
+                # order on small ints is reproducible across runs, which
+                # keeps the metered cascade deterministic.
+                if marked and marked[-1] is rec:
+                    marked.pop()
+                queue.update(sorted(m.id for m in marked))
 
     def _fix_deletion_cascade(self, seeds: set[int], moved: set[int]) -> None:
+        tracker = self.tracker
+        thresholds = self._inv2_thresh_int
         queue = set(seeds)
         while queue:
             v = queue.pop()
@@ -86,13 +98,14 @@ class LDS(PLDS):
                 continue
             descended = False
             while rec.level > 0:
-                up_star = len(rec.up) + len(rec.down.get(rec.level - 1, ()))
-                if up_star >= self.inv2_threshold(rec.level):
+                below = rec.down.get(rec.level - 1)
+                up_star = len(rec.up) + (len(below) if below else 0)
+                if up_star >= thresholds[rec.level]:
                     break
-                before = self.tracker.work
+                before = tracker.work
                 weakened = self._move_down(v, rec.level - 1)
-                self.tracker.add(work=0, depth=self.tracker.work - before)
+                tracker.add(work=0, depth=tracker.work - before)
                 descended = True
-                queue.update(weakened)
+                queue.update(sorted(weakened))
             if descended:
                 moved.add(v)

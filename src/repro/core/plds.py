@@ -88,22 +88,40 @@ class _VertexRecord:
     ``U[v]``); ``down`` maps each lower level ``j`` to the set of neighbors
     there (the paper's ``L_v[j]``; only non-empty levels are stored, which
     realizes the space-efficient variant of Section 5.8).
+
+    Both structures store the neighbors' *records* (by reference), not
+    their ids — the rebalancing loops read a neighbor's level on every
+    visit, and a direct attribute load is substantially cheaper than an
+    id -> record dict lookup.  This mirrors the pointer-based adjacency
+    of the paper's C++ implementation.  Records hash by address, so set
+    iteration order is not reproducible across runs; every consumer that
+    feeds metered work orders movers by ``id`` first (or is provably
+    order-insensitive).
+
+    ``deg`` caches the total degree: it is maintained incrementally on
+    every edge insertion/deletion (level moves shuffle neighbors between
+    ``up`` and ``down`` but never change the degree), so ``degree()`` is
+    O(1) instead of re-summing every down-level set.
     """
 
-    __slots__ = ("level", "up", "down")
+    __slots__ = ("id", "level", "up", "down", "deg")
 
-    def __init__(self) -> None:
+    def __init__(self, vid: int) -> None:
+        self.id = vid
         self.level = 0
-        self.up: set[int] = set()
-        self.down: dict[int, set[int]] = {}
+        self.up: set["_VertexRecord"] = set()
+        self.down: dict[int, set["_VertexRecord"]] = {}
+        self.deg = 0
 
     def degree(self) -> int:
-        return len(self.up) + sum(len(s) for s in self.down.values())
+        return self.deg
 
     def neighbors(self) -> Iterator[int]:
-        yield from self.up
+        for r in self.up:
+            yield r.id
         for s in self.down.values():
-            yield from s
+            for r in s:
+                yield r.id
 
 
 class PLDS:
@@ -221,15 +239,31 @@ class PLDS:
         else:  # space_efficient
             self._mut_depth = max(LOG_STAR_DEPTH, self.num_levels // 4 + 1)
 
-        # Precompute per-level thresholds (floats).
+        # Precompute per-rebuild threshold tables.  The floats keep the
+        # documented semantics (and diagnostics); the integer tables are
+        # what the hot loops consult — for an integer count c and a real
+        # bound b, ``c > b`` iff ``c > floor(b)`` and ``c >= b`` iff
+        # ``c >= ceil(b)``, so the int comparisons are exactly equivalent
+        # while skipping float conversion on every check.
+        self._group_of_level = [
+            l // self.levels_per_group for l in range(self.num_levels)
+        ]
         self._inv1_bound = [
-            self.upper_coeff * (1.0 + delta) ** self.group_number(l)
-            for l in range(self.num_levels)
+            self.upper_coeff * (1.0 + delta) ** g for g in self._group_of_level
         ]
         self._inv2_thresh = [0.0] + [
-            (1.0 + delta) ** self.group_number(l - 1)
+            (1.0 + delta) ** self._group_of_level[l - 1]
             for l in range(1, self.num_levels)
         ]
+        self._inv1_bound_int = [math.floor(b) for b in self._inv1_bound]
+        self._inv2_thresh_int = [math.ceil(t) for t in self._inv2_thresh]
+        #: (1+δ)^g per group — consulted by coreness_estimate instead of
+        #: recomputing the power on every query.
+        self._group_pow = [
+            (1.0 + delta) ** g for g in range(self.num_groups + 2)
+        ]
+        #: O(log K) depth charge of a desire-level scan, precomputed.
+        self._levels_depth = log2_ceil(self.num_levels) + 1
 
     # ------------------------------------------------------------------
     # Level/group arithmetic
@@ -271,11 +305,13 @@ class PLDS:
 
     def degree(self, v: int) -> int:
         rec = self._vertices.get(v)
-        return rec.degree() if rec is not None else 0
+        return rec.deg if rec is not None else 0
 
     def neighbors(self, v: int) -> list[int]:
+        # Sorted: the underlying record sets iterate in address order,
+        # which is not reproducible across runs.
         rec = self._vertices.get(v)
-        return list(rec.neighbors()) if rec is not None else []
+        return sorted(rec.neighbors()) if rec is not None else []
 
     def has_edge(self, u: int, v: int) -> bool:
         ru = self._vertices.get(u)
@@ -283,8 +319,8 @@ class PLDS:
         if ru is None or rv is None:
             return False
         if rv.level >= ru.level:
-            return v in ru.up
-        return v in ru.down.get(rv.level, ())
+            return rv in ru.up
+        return rv in ru.down.get(rv.level, ())
 
     @property
     def num_edges(self) -> int:
@@ -315,14 +351,23 @@ class PLDS:
         paper's experimental convention (Section 6.2).
         """
         rec = self._vertices.get(v)
-        if rec is None or rec.degree() == 0:
+        if rec is None or rec.deg == 0:
             return 0.0
         exponent = max((rec.level + 1) // self.levels_per_group - 1, 0)
-        return (1.0 + self.delta) ** exponent
+        return self._group_pow[exponent]
 
     def coreness_estimates(self) -> dict[int, float]:
         """Estimates for every vertex the structure has seen."""
-        return {v: self.coreness_estimate(v) for v in self._vertices}
+        lpg = self.levels_per_group
+        pow_table = self._group_pow
+        return {
+            v: (
+                0.0
+                if rec.deg == 0
+                else pow_table[max((rec.level + 1) // lpg - 1, 0)]
+            )
+            for v, rec in self._vertices.items()
+        }
 
     def approximation_factor(self) -> float:
         """The provable max error ratio ``(2+3/λ)(1+δ)`` (Lemma 5.13).
@@ -351,14 +396,26 @@ class PLDS:
             return []
         lv = rec.level
         out = []
-        for w in rec.up:
-            lw = self._vertices[w].level
-            if lw > lv or (lw == lv and v < w):
-                out.append(w)
+        for wrec in rec.up:
+            lw = wrec.level
+            if lw > lv or (lw == lv and v < wrec.id):
+                out.append(wrec.id)
+        out.sort()
         return out
 
     def out_degree(self, v: int) -> int:
-        return len(self.out_neighbors(v))
+        # Counts in place — the materialized list out_neighbors() builds
+        # is pure overhead when only the count is needed.
+        rec = self._vertices.get(v)
+        if rec is None:
+            return 0
+        lv = rec.level
+        count = 0
+        for wrec in rec.up:
+            lw = wrec.level
+            if lw > lv or (lw == lv and v < wrec.id):
+                count += 1
+        return count
 
     def in_neighbors(self, v: int) -> list[int]:
         """Neighbors w with edge oriented w -> v."""
@@ -366,11 +423,13 @@ class PLDS:
         if rec is None:
             return []
         lv = rec.level
-        inn = []
-        for w in rec.neighbors():
-            lw = self._vertices[w].level
-            if lw < lv or (lw == lv and w < v):
-                inn.append(w)
+        # Every down-neighbor sits strictly below v (edge points up into
+        # v); an up-neighbor points into v only from the same level with
+        # the smaller id.
+        inn = [wrec.id for wrec in rec.up if wrec.level == lv and wrec.id < v]
+        for s in rec.down.values():
+            inn.extend(wrec.id for wrec in s)
+        inn.sort()
         return inn
 
     def oriented_edges(self) -> Iterator[DirectedEdge]:
@@ -494,13 +553,40 @@ class PLDS:
         self, insertions: list[tuple[int, int]], moved: set[int]
     ) -> None:
         tracker = self.tracker
+        vertices = self._vertices
         # Insert all edges into the structures (parallel hash inserts).
-        dirty: dict[int, set[int]] = {}
+        dirty: dict[int, set[_VertexRecord]] = {}
         tracker.add(work=2 * len(insertions), depth=self._mut_depth)
         for u, v in insertions:
-            self._insert_edge_struct(u, v)
-            dirty.setdefault(self._vertices[u].level, set()).add(u)
-            dirty.setdefault(self._vertices[v].level, set()).add(v)
+            for r in self._insert_edge_struct(u, v):
+                lx = r.level
+                bucket = dirty.get(lx)
+                if bucket is None:
+                    dirty[lx] = {r}
+                else:
+                    bucket.add(r)
+
+        bounds = self._inv1_bound_int
+        jump = self.insertion_strategy == "jump"
+
+        def rise(v: int) -> None:
+            # Jump strategy only; the levelwise path is inlined below.
+            newly_marked = self._move_up_to(v, self._up_desire_level(v))
+            moved.add(v)
+            rec = vertices[v]
+            if len(rec.up) > bounds[rec.level]:
+                newly_marked.append(rec)
+            for wrec in newly_marked:
+                lw = wrec.level
+                bucket = dirty.get(lw)
+                if bucket is None:
+                    dirty[lw] = {wrec}
+                else:
+                    bucket.add(wrec)
+
+        track = self.track_orientation
+        touched = self._touched
+        mut_depth = self._mut_depth
 
         # Process levels bottom-up; Lemma 5.5 guarantees each level is
         # visited at most once (marks only propagate upward, so min(dirty)
@@ -509,41 +595,224 @@ class PLDS:
             level = min(dirty)
             candidates = dirty.pop(level)
             tracker.add(work=1, depth=1)  # the level-loop iteration itself
-            movers = [
-                v
-                for v in candidates
-                if self._vertices[v].level == level
-                and len(self._vertices[v].up) > self.inv1_bound(level)
-            ]
-            if not movers:
+            bound = bounds[level]
+            if jump:
+                movers = [
+                    rec.id
+                    for rec in candidates
+                    if rec.level == level and len(rec.up) > bound
+                ]
+                if not movers:
+                    continue
+                tracker.flat_parfor(sorted(movers), rise)
                 continue
-            jump = self.insertion_strategy == "jump"
-            with tracker.parallel() as par:
-                for v in sorted(movers):
-                    with par.branch():
-                        if jump:
-                            target = self._up_desire_level(v)
-                            newly_marked = self._move_up_to(v, target)
+            # Levelwise fast path: :meth:`_move_up` inlined with aggregate
+            # charging.  Each rise would charge (|U[v]| or 1, mut_depth)
+            # into its own flat_parfor branch; the fold into the enclosing
+            # frame is (sum of the works, mut_depth), charged once below.
+            # All movers rise exactly one level, and every vertex they
+            # newly mark sits exactly at ``level + 1``, so the dirty
+            # bucket is updated in bulk too.
+            target = level + 1
+            bound_t = bounds[target]
+            # A neighbor that already violated Invariant 1 at ``target``
+            # before this level iteration is already in some dirty bucket
+            # (edge inserts mark both endpoints; every rise re-marks the
+            # riser while it still violates), so a riser only needs to
+            # mark w on the exact bound crossing — later redundant marks
+            # would be deduplicated by the dirty set anyway.
+            crossing = bound_t + 1
+            total_work = 0
+            marked_next: list[_VertexRecord] = []
+            marked_append = marked_next.append
+            moved_add = moved.add
+            # Movers are visited in the dirty bucket's iteration order,
+            # which varies across runs (records hash by address).  That is
+            # parity-safe: a mover's U-set is untouched while its own level
+            # is being processed (same-level neighbors only read it; stay
+            # moves edit the riser's sets), so each captured |U[v]| — and
+            # hence the aggregate work charge — is order-invariant, and
+            # the crossing mark fires exactly once per target neighbor no
+            # matter which riser trips it.
+            if track:
+                for rec in candidates:
+                    if rec.level != level:
+                        continue
+                    up = rec.up
+                    if len(up) <= bound:
+                        continue
+                    v = rec.id
+                    moved_add(v)
+                    total_work += len(up)
+                    stay = None
+                    for wrec in up:
+                        lw = wrec.level
+                        if lw == level:
+                            # w stays below v; v remains in U[w].
+                            if stay is None:
+                                stay = [wrec]
+                            else:
+                                stay.append(wrec)
+                            w = wrec.id
+                            touched.add((v, w) if v <= w else (w, v))
                         else:
-                            newly_marked = self._move_up(v)
-                        moved.add(v)
-                        rec = self._vertices[v]
-                        if len(rec.up) > self.inv1_bound(rec.level):
-                            newly_marked.append(v)
-                        for w in newly_marked:
-                            dirty.setdefault(self._vertices[w].level, set()).add(w)
+                            wdown = wrec.down
+                            bucket = wdown[level]
+                            bucket.discard(rec)
+                            if not bucket:
+                                del wdown[level]
+                            if lw == target:
+                                wup = wrec.up
+                                wup.add(rec)
+                                if len(wup) == crossing:
+                                    marked_append(wrec)
+                                w = wrec.id
+                                touched.add((v, w) if v <= w else (w, v))
+                            else:  # lw > target: w's L-structure shifts.
+                                slot = wdown.get(target)
+                                if slot is None:
+                                    wdown[target] = {rec}
+                                else:
+                                    slot.add(rec)
+                    if stay is not None:
+                        up.difference_update(stay)
+                        slot = rec.down.get(level)
+                        if slot is None:
+                            rec.down[level] = set(stay)
+                        else:
+                            slot.update(stay)
+                    rec.level = target
+                    if len(up) > bound_t:
+                        marked_append(rec)
+            else:
+                # Same loop, minus orientation bookkeeping (the default).
+                for rec in candidates:
+                    if rec.level != level:
+                        continue
+                    up = rec.up
+                    if len(up) <= bound:
+                        continue
+                    moved_add(rec.id)
+                    total_work += len(up)
+                    stay = None
+                    for wrec in up:
+                        lw = wrec.level
+                        if lw == level:
+                            # w stays below v; v remains in U[w].
+                            if stay is None:
+                                stay = [wrec]
+                            else:
+                                stay.append(wrec)
+                        else:
+                            wdown = wrec.down
+                            bucket = wdown[level]
+                            bucket.discard(rec)
+                            if not bucket:
+                                del wdown[level]
+                            if lw == target:
+                                wup = wrec.up
+                                wup.add(rec)
+                                if len(wup) == crossing:
+                                    marked_append(wrec)
+                            else:  # lw > target: w's L-structure shifts.
+                                slot = wdown.get(target)
+                                if slot is None:
+                                    wdown[target] = {rec}
+                                else:
+                                    slot.add(rec)
+                    if stay is not None:
+                        up.difference_update(stay)
+                        slot = rec.down.get(level)
+                        if slot is None:
+                            rec.down[level] = set(stay)
+                        else:
+                            slot.update(stay)
+                    rec.level = target
+                    if len(up) > bound_t:
+                        marked_append(rec)
+            if not total_work:
+                continue  # no mover survived the filter at this level
+            tracker.add(total_work, mut_depth)
+            if marked_next:
+                bucket = dirty.get(target)
+                if bucket is None:
+                    dirty[target] = set(marked_next)
+                else:
+                    bucket.update(marked_next)
 
-    def _move_up(self, v: int) -> list[int]:
-        """Move ``v`` one level up (Algorithm 2's unit step)."""
-        return self._move_up_to(v, self._vertices[v].level + 1)
+    def _move_up(self, v: int) -> list["_VertexRecord"]:
+        """Move ``v`` one level up (Algorithm 2's unit step).
 
-    def _move_up_to(self, v: int, target: int) -> list[int]:
+        Specialized single-level version of :meth:`_move_up_to` — the
+        dominant operation of levelwise insertion rebalancing.  With
+        ``target = old + 1`` an up-neighbor is either at exactly ``old``
+        (it stays below v; handled in bulk with C-level set operations),
+        at ``old + 1`` (v rises into its U-set), or higher (its L-slot
+        for v slides up one level).  Unlike :meth:`_move_up_to`, the
+        returned violation list (of records) includes ``v``'s own record
+        when v still violates Invariant 1 at the new level, so callers
+        skip the re-check.  Cost: O(|U[v]|) work, O(log* n) depth — identical
+        charges to the generic path.
+        """
+        vertices = self._vertices
+        rec = vertices[v]
+        old = rec.level
+        target = old + 1
+        up = rec.up
+        self.tracker.add(len(up) or 1, self._mut_depth)
+        track = self.track_orientation
+        touched = self._touched
+        bounds = self._inv1_bound_int
+
+        stay: list[_VertexRecord] = []
+        newly_marked: list[_VertexRecord] = []
+        for wrec in up:
+            lw = wrec.level
+            if lw == old:
+                # w stays below v; v remains in U[w].
+                stay.append(wrec)
+                if track:
+                    w = wrec.id
+                    touched.add((v, w) if v <= w else (w, v))
+            else:
+                wdown = wrec.down
+                bucket = wdown[old]
+                bucket.discard(rec)
+                if not bucket:
+                    del wdown[old]
+                if lw == target:
+                    wup = wrec.up
+                    wup.add(rec)
+                    if len(wup) > bounds[target]:
+                        newly_marked.append(wrec)
+                    if track:
+                        w = wrec.id
+                        touched.add((v, w) if v <= w else (w, v))
+                else:  # lw > target: only w's L-structure shifts.
+                    slot = wdown.get(target)
+                    if slot is None:
+                        wdown[target] = {rec}
+                    else:
+                        slot.add(rec)
+        if stay:
+            up.difference_update(stay)
+            slot = rec.down.get(old)
+            if slot is None:
+                rec.down[old] = set(stay)
+            else:
+                slot.update(stay)
+        rec.level = target
+        if len(up) > bounds[target]:
+            newly_marked.append(rec)
+        return newly_marked
+
+    def _move_up_to(self, v: int, target: int) -> list["_VertexRecord"]:
         """Move ``v`` up to ``target``, updating all affected structures.
 
         ``target == old + 1`` is the theoretical Algorithm 2 step; larger
-        jumps implement the Section-6.1 optimization.  Returns the
-        neighbors whose up-degree grew and now violate Invariant 1 (to be
-        marked).  Cost: O(|U[v]|) work, O(log* n) depth.
+        jumps implement the Section-6.1 optimization.  Returns the records
+        of neighbors whose up-degree grew and now violate Invariant 1 (to
+        be marked).  Cost: O(|U[v]|) work, O(log* n) depth.
         """
         vertices = self._vertices
         rec = vertices[v]
@@ -553,41 +822,51 @@ class PLDS:
         self.tracker.add(work=max(1, len(rec.up)), depth=self._mut_depth)
         track = self.track_orientation
         touched = self._touched
-        bounds = self._inv1_bound
+        bounds = self._inv1_bound_int
 
-        to_down: list[tuple[int, int]] = []
-        newly_marked: list[int] = []
-        for w in rec.up:
-            wrec = vertices[w]
+        to_down: list[tuple[_VertexRecord, int]] = []
+        newly_marked: list[_VertexRecord] = []
+        for wrec in rec.up:
             lw = wrec.level
             if lw == old:
                 # w stays below v; v remains in U[w].
-                to_down.append((w, lw))
+                to_down.append((wrec, lw))
                 if track:
+                    w = wrec.id
                     touched.add((v, w) if v <= w else (w, v))
             elif lw <= target:
                 # old < lw <= target: v rises into U[w].
                 bucket = wrec.down[old]
-                bucket.discard(v)
+                bucket.discard(rec)
                 if not bucket:
                     del wrec.down[old]
-                wrec.up.add(v)
+                wrec.up.add(rec)
                 if len(wrec.up) > bounds[lw]:
-                    newly_marked.append(w)
+                    newly_marked.append(wrec)
                 if lw < target:
                     # w is now strictly below v.
-                    to_down.append((w, lw))
+                    to_down.append((wrec, lw))
                 if track:
+                    w = wrec.id
                     touched.add((v, w) if v <= w else (w, v))
             else:  # lw > target: only w's L-structure shifts.
                 bucket = wrec.down[old]
-                bucket.discard(v)
+                bucket.discard(rec)
                 if not bucket:
                     del wrec.down[old]
-                wrec.down.setdefault(target, set()).add(v)
-        for w, lw in to_down:
-            rec.up.discard(w)
-            rec.down.setdefault(lw, set()).add(w)
+                slot = wrec.down.get(target)
+                if slot is None:
+                    wrec.down[target] = {rec}
+                else:
+                    slot.add(rec)
+        down = rec.down
+        for wrec, lw in to_down:
+            rec.up.discard(wrec)
+            slot = down.get(lw)
+            if slot is None:
+                down[lw] = {wrec}
+            else:
+                slot.add(wrec)
         rec.level = target
         return newly_marked
 
@@ -600,24 +879,32 @@ class PLDS:
         violated Invariant 1, so ``cnt(j-1) > (2+3/λ)(1+δ)^{gn(j-1)} >=
         (1+δ)^{gn(j-1)}``.
         """
-        rec = self._vertices[v]
+        vertices = self._vertices
+        rec = vertices[v]
         old = rec.level
-        # Histogram the up-neighbor levels once, then walk upward.
-        levels = sorted(
-            (self._vertices[w].level for w in rec.up), reverse=True
-        )
-        cnt = len(levels)
+        # Histogram the up-neighbor levels once, then walk upward dropping
+        # the count of neighbors below each candidate level (all up
+        # neighbors sit at levels >= old, so only exact-level counts are
+        # ever subtracted) — same scan the sorted version did, without the
+        # O(d log d) sort.
+        counts: dict[int, int] = {}
+        for wrec in rec.up:
+            lw = wrec.level
+            counts[lw] = counts.get(lw, 0) + 1
+        cnt = len(rec.up)
+        bounds = self._inv1_bound_int
+        counts_get = counts.get
         j = old
         while True:
             j += 1
-            # drop neighbors below level j from the count
-            while cnt > 0 and levels[cnt - 1] < j:
-                cnt -= 1
-            if cnt <= self.inv1_bound(j):
+            dropped = counts_get(j - 1)
+            if dropped:
+                cnt -= dropped
+            if cnt <= bounds[j]:
                 break
         self.tracker.add(
-            work=max(1, len(levels) + (j - old)),
-            depth=log2_ceil(self.num_levels) + 1,
+            work=max(1, len(rec.up) + (j - old)),
+            depth=self._levels_depth,
         )
         return j
 
@@ -638,21 +925,26 @@ class PLDS:
 
         desire: dict[int, int] = {}
         pending: dict[int, set[int]] = {}
+        vertices = self._vertices
+        thresholds = self._inv2_thresh_int
 
         def consider(w: int) -> None:
-            rec = self._vertices[w]
-            if rec.level == 0:
+            rec = vertices[w]
+            lvl = rec.level
+            if lvl == 0:
                 return
-            up_star = len(rec.up) + len(rec.down.get(rec.level - 1, ()))
-            if up_star < self.inv2_threshold(rec.level):
+            below = rec.down.get(lvl - 1)
+            up_star = len(rec.up) + (len(below) if below else 0)
+            if up_star < thresholds[lvl]:
                 dl = self._calculate_desire_level(w)
                 desire[w] = dl
-                pending.setdefault(dl, set()).add(w)
+                bucket = pending.get(dl)
+                if bucket is None:
+                    pending[dl] = {w}
+                else:
+                    bucket.add(w)
 
-        with tracker.parallel() as par:
-            for w in sorted(affected):
-                with par.branch():
-                    consider(w)
+        tracker.flat_parfor(sorted(affected), consider)
 
         # Process levels bottom-up; each vertex moves exactly once
         # (Lemma 5.6: once level i is done, no vertex desires <= i).
@@ -668,30 +960,35 @@ class PLDS:
             movers = [
                 v
                 for v in pending.pop(level)
-                if desire.get(v) == level and self._vertices[v].level > level
+                if desire.get(v) == level and vertices[v].level > level
             ]
             tracker.add(work=1, depth=1)
             if not movers:
                 continue
-            with tracker.parallel() as par:
-                for v in sorted(movers):
-                    with par.branch():
-                        fresh = self._calculate_desire_level(v)
-                        if fresh != level:
-                            if fresh < self._vertices[v].level:
-                                desire[v] = fresh
-                                pending.setdefault(fresh, set()).add(v)
-                            else:
-                                desire.pop(v, None)
-                            continue
-                        weakened = self._move_down(v, level)
-                        moved.add(v)
+
+            def descend(v: int, level: int = level) -> None:
+                fresh = self._calculate_desire_level(v)
+                if fresh != level:
+                    if fresh < vertices[v].level:
+                        desire[v] = fresh
+                        bucket = pending.get(fresh)
+                        if bucket is None:
+                            pending[fresh] = {v}
+                        else:
+                            bucket.add(v)
+                    else:
                         desire.pop(v, None)
-                        for w in weakened:
-                            if desire.get(w) is not None:
-                                # stale pending entry is skipped lazily
-                                desire.pop(w, None)
-                            consider(w)
+                    return
+                weakened = self._move_down(v, level)
+                moved.add(v)
+                desire.pop(v, None)
+                for w in weakened:
+                    if desire.get(w) is not None:
+                        # stale pending entry is skipped lazily
+                        desire.pop(w, None)
+                    consider(w)
+
+            tracker.flat_parfor(sorted(movers), descend)
 
     def _move_down(self, v: int, new_level: int) -> list[int]:
         """Move ``v`` down to ``new_level``, updating affected structures.
@@ -700,48 +997,63 @@ class PLDS:
         Invariant-2 violations).  Cost: O(#neighbors at levels >= new_level)
         work, O(log* n) depth.
         """
-        rec = self._vertices[v]
+        vertices = self._vertices
+        rec = vertices[v]
         old = rec.level
         if new_level >= old:
             raise AssertionError("move_down requires a strictly lower level")
         tracker = self.tracker
+        track = self.track_orientation
+        touched = self._touched
         weakened: list[int] = []
         ops = len(rec.up)
 
         # Neighbors formerly above or at v's old level.
-        for w in rec.up:
-            wrec = self._vertices[w]
+        for wrec in rec.up:
             lw = wrec.level
+            wdown = wrec.down
             if lw == old:
-                wrec.up.discard(v)
-                wrec.down.setdefault(new_level, set()).add(v)
+                wrec.up.discard(rec)
             else:  # lw > old
-                wrec.down[old].discard(v)
-                if not wrec.down[old]:
-                    del wrec.down[old]
-                wrec.down.setdefault(new_level, set()).add(v)
+                bucket = wdown[old]
+                bucket.discard(rec)
+                if not bucket:
+                    del wdown[old]
+            slot = wdown.get(new_level)
+            if slot is None:
+                wdown[new_level] = {rec}
+            else:
+                slot.add(rec)
             # v left Z_{lw-1} iff new_level < lw - 1 <= old.
             if new_level < lw - 1 <= old:
-                weakened.append(w)
-            if self.track_orientation and lw <= old:
-                self._touched.add(canonical_edge(v, w))
+                weakened.append(wrec.id)
+            if track and lw <= old:
+                w = wrec.id
+                touched.add((v, w) if v <= w else (w, v))
 
         # Neighbors between new_level and old-1 move from L_v into U[v].
+        rec_up_add = rec.up.add
         for j in range(new_level, old):
             bucket = rec.down.pop(j, None)
             if not bucket:
                 continue
             ops += len(bucket)
-            for w in bucket:
-                wrec = self._vertices[w]
-                rec.up.add(w)
-                if new_level < wrec.level:
-                    wrec.up.discard(v)
-                    wrec.down.setdefault(new_level, set()).add(v)
-                    if new_level < wrec.level - 1 <= old:
-                        weakened.append(w)
-                if self.track_orientation:
-                    self._touched.add(canonical_edge(v, w))
+            for wrec in bucket:
+                rec_up_add(wrec)
+                lw = wrec.level
+                if new_level < lw:
+                    wrec.up.discard(rec)
+                    wdown = wrec.down
+                    slot = wdown.get(new_level)
+                    if slot is None:
+                        wdown[new_level] = {rec}
+                    else:
+                        slot.add(rec)
+                    if new_level < lw - 1 <= old:
+                        weakened.append(wrec.id)
+                if track:
+                    w = wrec.id
+                    touched.add((v, w) if v <= w else (w, v))
 
         rec.level = new_level
         tracker.add(work=max(1, ops), depth=self._mut_depth)
@@ -769,16 +1081,17 @@ class PLDS:
         cnt = len(rec.up)
         scanned = 1
         best = 0
+        down_get = rec.down.get
+        thresholds = self._inv2_thresh_int
         for lprime in range(l, 0, -1):
-            bucket = rec.down.get(lprime - 1)
-            cnt += len(bucket) if bucket else 0
+            bucket = down_get(lprime - 1)
+            if bucket:
+                cnt += len(bucket)
             scanned += 1
-            if cnt >= self.inv2_threshold(lprime):
+            if cnt >= thresholds[lprime]:
                 best = lprime
                 break
-        self.tracker.add(
-            work=scanned, depth=log2_ceil(self.num_levels) + 1
-        )
+        self.tracker.add(work=scanned, depth=self._levels_depth)
         return best
 
     # ------------------------------------------------------------------
@@ -788,42 +1101,59 @@ class PLDS:
     def _record(self, v: int) -> _VertexRecord:
         rec = self._vertices.get(v)
         if rec is None:
-            rec = _VertexRecord()
+            rec = _VertexRecord(v)
             self._vertices[v] = rec
         return rec
 
-    def _insert_edge_struct(self, u: int, v: int) -> None:
+    def _insert_edge_struct(
+        self, u: int, v: int
+    ) -> tuple[_VertexRecord, _VertexRecord]:
         if u == v:
             raise ValueError("self-loops are not allowed")
         if self.has_edge(u, v):
             raise ValueError(f"duplicate edge ({u},{v})")
         ru, rv = self._record(u), self._record(v)
         if rv.level >= ru.level:
-            ru.up.add(v)
+            ru.up.add(rv)
         else:
-            ru.down.setdefault(rv.level, set()).add(v)
+            slot = ru.down.get(rv.level)
+            if slot is None:
+                ru.down[rv.level] = {rv}
+            else:
+                slot.add(rv)
         if ru.level >= rv.level:
-            rv.up.add(u)
+            rv.up.add(ru)
         else:
-            rv.down.setdefault(ru.level, set()).add(u)
+            slot = rv.down.get(ru.level)
+            if slot is None:
+                rv.down[ru.level] = {ru}
+            else:
+                slot.add(ru)
+        ru.deg += 1
+        rv.deg += 1
         self._m += 1
+        return ru, rv
 
     def _delete_edge_struct(self, u: int, v: int) -> None:
         if not self.has_edge(u, v):
             raise ValueError(f"edge ({u},{v}) not present")
         ru, rv = self._vertices[u], self._vertices[v]
         if rv.level >= ru.level:
-            ru.up.discard(v)
+            ru.up.discard(rv)
         else:
-            ru.down[rv.level].discard(v)
-            if not ru.down[rv.level]:
+            bucket = ru.down[rv.level]
+            bucket.discard(rv)
+            if not bucket:
                 del ru.down[rv.level]
         if ru.level >= rv.level:
-            rv.up.discard(u)
+            rv.up.discard(ru)
         else:
-            rv.down[ru.level].discard(u)
-            if not rv.down[ru.level]:
+            bucket = rv.down[ru.level]
+            bucket.discard(ru)
+            if not bucket:
                 del rv.down[ru.level]
+        ru.deg -= 1
+        rv.deg -= 1
         self._m -= 1
 
     # ------------------------------------------------------------------
@@ -993,6 +1323,12 @@ class PLDS:
         problems: list[str] = []
         for v, rec in self._vertices.items():
             l = rec.level
+            actual_deg = len(rec.up) + sum(len(s) for s in rec.down.values())
+            if rec.deg != actual_deg:
+                problems.append(
+                    f"cached degree of v={v} is {rec.deg}, "
+                    f"structures hold {actual_deg}"
+                )
             if len(rec.up) > self.inv1_bound(l):
                 problems.append(
                     f"Invariant 1 violated at v={v}: up={len(rec.up)} > "
@@ -1005,17 +1341,17 @@ class PLDS:
                         f"Invariant 2 violated at v={v}: up*={up_star} < "
                         f"{self.inv2_threshold(l):.2f} (level {l})"
                     )
-            for w in rec.up:
-                if self._vertices[w].level < l:
-                    problems.append(f"U[{v}] holds {w} below level {l}")
+            for wrec in rec.up:
+                if wrec.level < l:
+                    problems.append(f"U[{v}] holds {wrec.id} below level {l}")
             for j, bucket in rec.down.items():
                 if j >= l:
                     problems.append(f"L_{v}[{j}] exists at/above level {l}")
-                for w in bucket:
-                    if self._vertices[w].level != j:
+                for wrec in bucket:
+                    if wrec.level != j:
                         problems.append(
-                            f"L_{v}[{j}] holds {w} at level "
-                            f"{self._vertices[w].level}"
+                            f"L_{v}[{j}] holds {wrec.id} at level "
+                            f"{wrec.level}"
                         )
         return problems
 

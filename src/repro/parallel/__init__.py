@@ -7,7 +7,7 @@ parallel computations, batch-metered hash tables, classic primitives
 simulating multiprocessor running times.
 """
 
-from .engine import Cost, WorkDepthTracker, parfor, parmap
+from .engine import Cost, NullTracker, WorkDepthTracker, parfor, parmap
 from .hashtable import ParallelHashMap, ParallelHashSet
 from .primitives import (
     log2_ceil,
@@ -23,6 +23,7 @@ from .scheduler import BrentScheduler, speedup_curve
 
 __all__ = [
     "Cost",
+    "NullTracker",
     "WorkDepthTracker",
     "parfor",
     "parmap",

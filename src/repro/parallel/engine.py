@@ -42,6 +42,7 @@ U = TypeVar("U")
 
 __all__ = [
     "WorkDepthTracker",
+    "NullTracker",
     "Cost",
     "parfor",
     "parmap",
@@ -144,6 +145,20 @@ class WorkDepthTracker:
     def add_cost(self, cost: Cost) -> None:
         self.add(cost.work, cost.depth)
 
+    def charge_parfor(self, n: int, per_work: int = 1, per_depth: int = 1) -> None:
+        """Charge a uniform-cost parfor of ``n`` branches in O(1).
+
+        Exactly equivalent to a :meth:`parallel` scope with ``n`` branches
+        each charging ``(per_work, per_depth)`` — total work ``n * per_work``
+        (sum), total depth ``per_depth`` (max) — without opening ``n``
+        frames.  ``n <= 0`` charges nothing, like an empty scope.
+        """
+        if n <= 0:
+            return
+        frame = self._stack[-1]
+        frame.work += n * per_work
+        frame.depth += per_depth
+
     # -- structure ----------------------------------------------------
 
     @contextmanager
@@ -159,6 +174,35 @@ class WorkDepthTracker:
         frame = self._stack[-1]
         frame.work += scope.work
         frame.depth += scope.max_depth
+
+    def flat_parfor(self, items: Iterable[T], body: Callable[[T], None]) -> None:
+        """Run ``body`` over ``items`` with parallel cost composition.
+
+        Semantically identical to :func:`parfor` (sum of branch works,
+        max of branch depths, folded into the enclosing frame), but a
+        single scratch frame is reused for every branch instead of
+        pushing/popping one ``_Frame`` plus two context managers per
+        iteration — the dominant interpreter overhead of fine-grained
+        loops with hundreds of thousands of branches per batch.
+        """
+        stack = self._stack
+        scratch = _Frame()
+        stack.append(scratch)
+        total_work = 0
+        max_depth = 0
+        try:
+            for item in items:
+                scratch.work = 0
+                scratch.depth = 0
+                body(item)
+                total_work += scratch.work
+                if scratch.depth > max_depth:
+                    max_depth = scratch.depth
+        finally:
+            stack.pop()
+        frame = stack[-1]
+        frame.work += total_work
+        frame.depth += max_depth
 
     # -- reading ------------------------------------------------------
 
@@ -186,6 +230,58 @@ class WorkDepthTracker:
         self._root.work = 0
         self._root.depth = 0
         del self._stack[1:]
+
+
+class _NullBranch:
+    """No-op branch context, shared by every :class:`NullTracker` scope."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullScope:
+    """Scope whose branches are free."""
+
+    __slots__ = ()
+    _branch = _NullBranch()
+
+    def branch(self) -> _NullBranch:
+        return self._branch
+
+
+class NullTracker(WorkDepthTracker):
+    """A tracker that charges nothing — for unmetered "serving" runs.
+
+    Deployments that only need coreness answers (not work/depth accounting)
+    pay the metering substrate's bookkeeping for nothing; passing
+    ``tracker=NullTracker()`` turns every charge site into a no-op while
+    keeping the full :class:`WorkDepthTracker` interface, so algorithm
+    code needs no branching.  ``work`` and ``depth`` read 0.
+    """
+
+    _null_scope = _NullScope()
+
+    def add(self, work: int = 1, depth: int = 1) -> None:
+        return None
+
+    def add_cost(self, cost: Cost) -> None:
+        return None
+
+    def charge_parfor(self, n: int, per_work: int = 1, per_depth: int = 1) -> None:
+        return None
+
+    @contextmanager
+    def parallel(self) -> Iterator[_NullScope]:  # type: ignore[override]
+        yield self._null_scope
+
+    def flat_parfor(self, items: Iterable[T], body: Callable[[T], None]) -> None:
+        for item in items:
+            body(item)
 
 
 def parfor(

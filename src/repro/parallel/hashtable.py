@@ -29,6 +29,16 @@ __all__ = ["ParallelHashSet", "ParallelHashMap", "LOG_STAR_DEPTH"]
 LOG_STAR_DEPTH = 5
 
 
+def _sized(items: Iterable[K]) -> "Iterable[K]":
+    """Return ``items`` unchanged if it knows its length, else a list.
+
+    Batch operations need ``len`` for the work charge; copying an input
+    that is already a list/set/tuple/view would double the real work of
+    every batched call for nothing.
+    """
+    return items if hasattr(items, "__len__") else list(items)
+
+
 class ParallelHashSet(Generic[K]):
     """A set with metered batch operations.
 
@@ -63,17 +73,17 @@ class ParallelHashSet(Generic[K]):
     # -- batch ops ------------------------------------------------------
 
     def add_batch(self, items: Iterable[K]) -> None:
-        items = list(items)
+        items = _sized(items)
         self._tracker.add(work=max(1, len(items)), depth=LOG_STAR_DEPTH)
         self._data.update(items)
 
     def discard_batch(self, items: Iterable[K]) -> None:
-        items = list(items)
+        items = _sized(items)
         self._tracker.add(work=max(1, len(items)), depth=LOG_STAR_DEPTH)
         self._data.difference_update(items)
 
     def contains_batch(self, items: Iterable[K]) -> list[bool]:
-        items = list(items)
+        items = _sized(items)
         self._tracker.add(work=max(1, len(items)), depth=1)
         return [x in self._data for x in items]
 
@@ -123,12 +133,12 @@ class ParallelHashMap(Generic[K, V]):
         return self._data.get(key, default)
 
     def set_batch(self, pairs: Iterable[tuple[K, V]]) -> None:
-        pairs = list(pairs)
+        pairs = _sized(pairs)
         self._tracker.add(work=max(1, len(pairs)), depth=LOG_STAR_DEPTH)
         self._data.update(pairs)
 
     def delete_batch(self, keys: Iterable[K]) -> None:
-        keys = list(keys)
+        keys = _sized(keys)
         self._tracker.add(work=max(1, len(keys)), depth=LOG_STAR_DEPTH)
         for k in keys:
             self._data.pop(k, None)

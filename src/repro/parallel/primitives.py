@@ -72,8 +72,11 @@ def parallel_max(tracker: WorkDepthTracker, seq: Sequence[int], default: int = 0
 def parallel_count(
     tracker: WorkDepthTracker, seq: Iterable[T], pred: Callable[[T], bool]
 ) -> int:
-    seq = list(seq)
-    _charge_linear(tracker, len(seq))
+    # Only one pass is needed, so sized inputs (lists, sets, dict views)
+    # are consumed in place; only true one-shot iterators get materialized.
+    if not hasattr(seq, "__len__"):
+        seq = list(seq)
+    _charge_linear(tracker, len(seq))  # type: ignore[arg-type]
     return sum(1 for x in seq if pred(x))
 
 

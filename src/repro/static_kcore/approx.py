@@ -107,31 +107,34 @@ def approx_coreness_static(
 
         # Line 8: R — per-neighbor peel counts, via semisort.
         pairs = []
-        with tracker.parallel() as par:
-            for v in peeled:
-                with par.branch():
-                    tracker.add(
-                        work=max(1, len(adj[v])),
-                        depth=log2_ceil(len(adj[v]) or 1) + 1,
-                    )
-                    for w in adj[v]:
-                        if w not in estimates:
-                            pairs.append((w, 1))
+
+        def collect(v: int) -> None:
+            nbrs = adj[v]
+            tracker.add(
+                work=max(1, len(nbrs)), depth=log2_ceil(len(nbrs) or 1) + 1
+            )
+            for w in nbrs:
+                if w not in estimates:
+                    pairs.append((w, 1))
+
+        tracker.flat_parfor(peeled, collect)
         grouped = parallel_semisort(tracker, pairs)
 
         # Lines 10-15: recompute estimates/buckets of affected neighbors.
         moves = []
-        with tracker.parallel() as par:
-            for w, ones in grouped.items():
-                with par.branch():
-                    if w in estimates:
-                        continue
-                    induced_deg = induced[w] - len(ones)
-                    floor = math.ceil((1.0 + eps) ** max(t - 1, 0))
-                    induced[w] = max(induced_deg, floor)
-                    newbkt = max(bucket_index(induced[w]), t)
-                    moves.append((w, newbkt))
-                    tracker.add(work=1, depth=1)
+        floor = math.ceil((1.0 + eps) ** max(t - 1, 0))
+
+        def rebucket(item: tuple[int, list[int]]) -> None:
+            w, ones = item
+            if w in estimates:
+                return
+            induced_deg = induced[w] - len(ones)
+            induced[w] = max(induced_deg, floor)
+            newbkt = max(bucket_index(induced[w]), t)
+            moves.append((w, newbkt))
+            tracker.add(work=1, depth=1)
+
+        tracker.flat_parfor(grouped.items(), rebucket)
         buckets.update_batch(moves)
 
     return ApproxKCoreResult(estimates=estimates, rounds=rounds)

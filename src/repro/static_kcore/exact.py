@@ -111,17 +111,18 @@ class ParallelExactKCore:
             # Peel the whole frontier in one parallel round: aggregate the
             # per-neighbor peel counts with a semisort, then rebucket.
             decrements: dict[int, int] = {}
-            with tracker.parallel() as par:
-                for v in frontier:
-                    with par.branch():
-                        core[v] = k
-                        tracker.add(
-                            work=max(1, len(adj[v])),
-                            depth=log2_ceil(len(adj[v]) or 1) + 1,
-                        )
-                        for w in adj[v]:
-                            if w not in core:
-                                decrements[w] = decrements.get(w, 0) + 1
+
+            def peel(v: int, k: int = k) -> None:
+                core[v] = k
+                nbrs = adj[v]
+                tracker.add(
+                    work=max(1, len(nbrs)), depth=log2_ceil(len(nbrs) or 1) + 1
+                )
+                for w in nbrs:
+                    if w not in core:
+                        decrements[w] = decrements.get(w, 0) + 1
+
+            tracker.flat_parfor(frontier, peel)
             moves = []
             for w, r in decrements.items():
                 if w in core:
