@@ -22,6 +22,12 @@ Subpackages
 ``repro.framework``
     The Section-8 framework: batch-dynamic maximal matching, k-clique
     counting, and vertex colorings on top of the orientation.
+``repro.registry``
+    The algorithm/application registry: every dispatchable key with its
+    adapter factory and capability metadata.
+``repro.service``
+    The batch-serving layer: :class:`~repro.service.CoreService`
+    sessions applying update batches and answering coreness queries.
 ``repro.bench``
     Experiment harness reproducing the paper's evaluation protocols.
 
@@ -39,6 +45,8 @@ from .core.plds import PLDS, UpdateResult
 from .graphs.dynamic_graph import DynamicGraph
 from .graphs.streams import Batch, EdgeUpdate
 from .parallel.engine import Cost, WorkDepthTracker
+from .registry import algorithm_keys, make_adapter
+from .service import BatchTelemetry, CoreService, ServiceSnapshot
 from .static_kcore.approx import approx_coreness_static
 from .static_kcore.exact import exact_coreness
 
@@ -53,6 +61,11 @@ __all__ = [
     "EdgeUpdate",
     "Cost",
     "WorkDepthTracker",
+    "CoreService",
+    "BatchTelemetry",
+    "ServiceSnapshot",
+    "algorithm_keys",
+    "make_adapter",
     "approx_coreness_static",
     "exact_coreness",
     "__version__",

@@ -24,6 +24,12 @@ approxkcore static rerun of Algorithm 6 per batch          parallel approx
 The two static keys model the paper's Fig.-11 static comparison: the
 "dynamic" update simply reruns the static algorithm from scratch on the
 accumulated graph.
+
+Dispatch lives in :mod:`repro.registry` — the table above documents the
+capability metadata registered there (and is pinned against it by
+``tests/test_registry.py``).  This module re-exports the adapter types
+and :func:`~repro.registry.make_adapter` for backward compatibility and
+adds the protocol runner :func:`run_protocol`.
 """
 
 from __future__ import annotations
@@ -32,18 +38,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Literal, Sequence
 
-from ..baselines.hua import HuaExactBatchDynamic
-from ..baselines.sun import SunApproxDynamic
-from ..baselines.zhang import ZhangExactDynamic
-from ..core.lds import LDS
-from ..core.plds import PLDS
 from ..graphs.streams import (
-    Batch,
     deletion_batches,
     insertion_batches,
     mixed_batch,
 )
-from ..parallel.engine import Cost, WorkDepthTracker
+from ..parallel.engine import Cost
+from ..registry import (
+    DynamicKCoreAdapter,
+    StaticRerunAdapter,
+    algorithm_keys,
+    make_adapter,
+)
 from ..static_kcore.exact import exact_coreness
 from .metrics import ErrorStats, error_stats
 
@@ -53,6 +59,7 @@ __all__ = [
     "make_adapter",
     "ALGORITHM_KEYS",
     "ALL_KEYS",
+    "SEQUENTIAL_KEYS",
     "BatchMeasurement",
     "ExperimentResult",
     "run_protocol",
@@ -60,146 +67,14 @@ __all__ = [
 
 Protocol = Literal["ins", "del", "mix"]
 
-ALGORITHM_KEYS = ("plds", "pldsopt", "lds", "sun", "hua", "zhang")
+#: the genuinely dynamic algorithms (from the registry metadata).
+ALGORITHM_KEYS = algorithm_keys(dynamic=True)
 
 #: including the static-rerun pseudo-algorithms (Fig. 11 comparisons).
-ALL_KEYS = ALGORITHM_KEYS + ("exactkcore", "approxkcore")
+ALL_KEYS = algorithm_keys()
 
 #: algorithms whose simulated running time should be read at p=1
-SEQUENTIAL_KEYS = frozenset({"lds", "sun", "zhang"})
-
-
-class StaticRerunAdapter:
-    """A 'dynamic' algorithm that reruns a static one after every batch.
-
-    Mirrors the paper's Fig.-11 protocol for ExactKCore/ApproxKCore: the
-    static algorithm is rerun from scratch on the full accumulated graph
-    after each batch, so per-batch cost is the full static cost.
-    """
-
-    def __init__(self, kind: str, tracker: WorkDepthTracker) -> None:
-        from ..graphs.dynamic_graph import DynamicGraph
-
-        self.kind = kind
-        self.tracker = tracker
-        self._graph = DynamicGraph()
-        self._estimates: dict[int, float] = {}
-
-    def initialize(self, edges) -> None:
-        for u, v in edges:
-            self._graph.insert_edge(u, v)
-        self._recompute()
-
-    def update(self, batch: Batch) -> None:
-        for u, v in batch.insertions:
-            self._graph.insert_edge(u, v)
-        for u, v in batch.deletions:
-            self._graph.delete_edge(u, v)
-        self._recompute()
-
-    def _recompute(self) -> None:
-        from ..static_kcore.approx import approx_coreness_static
-        from ..static_kcore.exact import ParallelExactKCore
-
-        edges = list(self._graph.edges())
-        if self.kind == "exactkcore":
-            result = ParallelExactKCore(self.tracker).run(edges)
-            self._estimates = {v: float(k) for v, k in result.coreness.items()}
-        else:
-            result = approx_coreness_static(edges, tracker=self.tracker)
-            self._estimates = dict(result.estimates)
-
-    def coreness_estimates(self) -> dict[int, float]:
-        return dict(self._estimates)
-
-    def space_bytes(self) -> int:
-        return 16 * self._graph.num_edges + 8 * self._graph.num_vertices
-
-
-class DynamicKCoreAdapter:
-    """Uniform facade over the dynamic k-core implementations."""
-
-    def __init__(self, key: str, impl, is_exact: bool) -> None:
-        self.key = key
-        self.impl = impl
-        self.is_exact = is_exact
-
-    # -- lifecycle -------------------------------------------------------
-
-    def initialize(self, edges: Sequence[tuple[int, int]]) -> None:
-        if isinstance(self.impl, (PLDS, LDS)):
-            if edges:
-                self.impl.update(Batch(insertions=list(edges)))
-        else:
-            self.impl.initialize(edges)
-
-    def update(self, batch: Batch) -> None:
-        self.impl.update(batch)
-
-    # -- results ------------------------------------------------------------
-
-    def estimates(self) -> dict[int, float]:
-        if isinstance(self.impl, (PLDS, LDS, SunApproxDynamic, StaticRerunAdapter)):
-            return self.impl.coreness_estimates()
-        return {v: float(k) for v, k in self.impl.corenesses().items()}
-
-    @property
-    def cost(self) -> Cost:
-        return self.impl.tracker.cost
-
-    def space_bytes(self) -> int:
-        return self.impl.space_bytes()
-
-
-def make_adapter(
-    key: str,
-    n_hint: int,
-    delta: float = 0.4,
-    lam: float = 3.0,
-    sun_eps: float = 2.0,
-    sun_lam: float = 2.0,
-    sun_alpha: float = 2.0,
-    upper_coeff: float | None = None,
-    group_shrink_opt: int = 50,
-) -> DynamicKCoreAdapter:
-    """Build the adapter for one algorithm key with paper-default params."""
-    if key == "plds":
-        return DynamicKCoreAdapter(
-            key, PLDS(n_hint, delta=delta, lam=lam, upper_coeff=upper_coeff), False
-        )
-    if key == "pldsopt":
-        return DynamicKCoreAdapter(
-            key,
-            PLDS(
-                n_hint,
-                delta=delta,
-                lam=lam,
-                group_shrink=group_shrink_opt,
-                upper_coeff=upper_coeff,
-            ),
-            False,
-        )
-    if key == "lds":
-        return DynamicKCoreAdapter(
-            key, LDS(n_hint, delta=delta, lam=lam, upper_coeff=upper_coeff), False
-        )
-    if key == "sun":
-        return DynamicKCoreAdapter(
-            key,
-            SunApproxDynamic(n_hint, eps=sun_eps, lam=sun_lam, alpha=sun_alpha),
-            False,
-        )
-    if key == "hua":
-        return DynamicKCoreAdapter(key, HuaExactBatchDynamic(), True)
-    if key == "zhang":
-        return DynamicKCoreAdapter(key, ZhangExactDynamic(), True)
-    if key in ("exactkcore", "approxkcore"):
-        return DynamicKCoreAdapter(
-            key,
-            StaticRerunAdapter(key, WorkDepthTracker()),
-            key == "exactkcore",
-        )
-    raise ValueError(f"unknown algorithm key {key!r}; choose from {ALL_KEYS}")
+SEQUENTIAL_KEYS = frozenset(algorithm_keys(parallel=False))
 
 
 @dataclass

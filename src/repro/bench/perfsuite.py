@@ -47,7 +47,7 @@ from typing import Callable, Sequence
 
 from ..graphs.generators import barabasi_albert, grid_2d
 from ..graphs.streams import deletion_batches, insertion_batches, mixed_batch
-from .harness import make_adapter
+from ..registry import algorithm_spec, make_adapter
 
 __all__ = [
     "PerfEntry",
@@ -193,6 +193,8 @@ def run_suite(
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    for algo in algos:
+        algorithm_spec(algo)  # fail fast, naming the valid registry keys
     entries: list[PerfEntry] = []
     for workload in workloads:
         for algo in algos:

@@ -13,10 +13,16 @@ Commands
     Simulated self-relative speedup curves (Figure 10 analog).
 ``static``
     Static exact vs approximate k-core comparison on one dataset.
+``service``
+    Drive a :class:`repro.service.CoreService` session over a dataset:
+    per-batch telemetry (work, depth, wall, simulated ``T_p``), a
+    mid-stream snapshot, and coreness queries.
 ``bench``
     Perf-regression suite: time the canonical workloads and write a
     ``BENCH_<label>.json`` trajectory point, optionally comparing
     against a previous one.
+
+All algorithm dispatch resolves through :mod:`repro.registry`.
 
 Examples
 --------
@@ -35,16 +41,12 @@ import argparse
 import sys
 from typing import Sequence
 
-from .bench.harness import (
-    ALGORITHM_KEYS,
-    SEQUENTIAL_KEYS,
-    make_adapter,
-    run_protocol,
-)
+from .bench.harness import run_protocol
 from .graphs.generators import dataset_suite
 from .graphs.io import read_edge_list
 from .parallel.engine import WorkDepthTracker
 from .parallel.scheduler import BrentScheduler
+from .registry import algorithm_keys, algorithm_spec, make_adapter
 from .static_kcore.approx import approx_coreness_static
 from .static_kcore.exact import ParallelExactKCore, exact_coreness, max_coreness
 
@@ -107,12 +109,10 @@ def cmd_kcore(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    from .bench.harness import ALL_KEYS
-
     name, edges = _load_edges(args)
     batch = args.batch_size or max(1, len(edges) // 4)
     sched = BrentScheduler()
-    keys = ALL_KEYS if args.include_static else ALGORITHM_KEYS
+    keys = algorithm_keys() if args.include_static else algorithm_keys(dynamic=True)
     print(
         f"{name}: {len(edges)} edges | protocol={args.protocol} batch={batch} "
         f"| simulated time at {args.threads} threads (sequential at 1)"
@@ -127,7 +127,7 @@ def cmd_compare(args) -> int:
             batch,
             max_batches=args.max_batches,
         )
-        p = 1 if key in SEQUENTIAL_KEYS else args.threads
+        p = args.threads if algorithm_spec(key).parallel else 1
         t = sched.time(res.total_cost, p) / max(1, len(res.batches))
         err = res.errors
         avg = f"{err.average:.2f}" if err and err.vertices_measured else "-"
@@ -143,7 +143,7 @@ def cmd_scalability(args) -> int:
     name, edges = _load_edges(args)
     batch = args.batch_size or max(1, len(edges) // 3)
     sched = BrentScheduler(hyperthread_cores=30, hyperthread_yield=0.35)
-    parallel = [k for k in ALGORITHM_KEYS if k not in SEQUENTIAL_KEYS]
+    parallel = list(algorithm_keys(dynamic=True, parallel=True))
     costs = {}
     for key in parallel:
         res = run_protocol(
@@ -252,6 +252,42 @@ def cmd_window(args) -> int:
     return 0
 
 
+def cmd_service(args) -> int:
+    from .graphs.streams import insertion_batches
+    from .service import CoreService
+
+    name, edges = _load_edges(args)
+    batch = args.batch_size or max(1, len(edges) // 4)
+    svc = CoreService(args.algorithm, n_hint=_n_hint(edges), threads=args.threads)
+    print(
+        f"{name}: serving {len(edges)} edges | algorithm={args.algorithm} "
+        f"batch={batch} threads={args.threads}"
+    )
+    print(f"{'batch':>5s} {'+ins':>6s} {'-del':>6s} {'work':>10s} {'depth':>8s} "
+          f"{'wall ms':>9s} {'T_p':>10s}")
+    batches = insertion_batches(edges, batch, seed=0)
+    if args.max_batches is not None:
+        batches = batches[: args.max_batches]
+    snap = None
+    for i, b in enumerate(batches):
+        t = svc.apply_batch(b)
+        print(
+            f"{t.batch_id:5d} {t.insertions:6d} {t.deletions:6d} {t.work:10d} "
+            f"{t.depth:8d} {t.wall_seconds * 1e3:9.2f} {t.t_p:10.0f}"
+        )
+        if i == len(batches) // 2:
+            snap = svc.snapshot()
+    top = max(svc.coreness_map().items(), key=lambda kv: kv[1], default=(0, 0.0))
+    print(f"  busiest vertex    : {top[0]} (estimate {top[1]:.2f})")
+    if snap is not None:
+        print(
+            f"  snapshot #{snap.snapshot_id} after batch {snap.batches_applied}: "
+            f"{len(snap.edges)} edges, vertex {top[0]} was {snap.coreness(top[0]):.2f}"
+        )
+    print(f"  structure space   : {svc.space_bytes()} bytes")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import os
 
@@ -266,6 +302,11 @@ def cmd_bench(args) -> int:
     )
 
     algos = tuple(args.algos.split(",")) if args.algos else DEFAULT_ALGOS
+    for a in algos:
+        if a not in algorithm_keys():
+            raise SystemExit(
+                f"unknown algorithm {a!r}; choose from {algorithm_keys()}"
+            )
     workloads = (
         tuple(args.workloads.split(",")) if args.workloads else WORKLOADS
     )
@@ -342,7 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("kcore", help="run one dynamic k-core algorithm")
     add_input(p)
-    p.add_argument("--algorithm", choices=ALGORITHM_KEYS, default="pldsopt")
+    p.add_argument(
+        "--algorithm", choices=algorithm_keys(dynamic=True), default="pldsopt"
+    )
     p.add_argument("--protocol", choices=("ins", "del", "mix"), default="ins")
     p.add_argument("--delta", type=float, default=0.4)
     p.add_argument("--lam", type=float, default=3.0)
@@ -380,6 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_input(p)
     p.add_argument("--window", type=int, default=None)
     p.set_defaults(fn=cmd_window)
+
+    p = sub.add_parser(
+        "service", help="CoreService demo: batched serving with telemetry"
+    )
+    add_input(p)
+    p.add_argument("--algorithm", choices=algorithm_keys(), default="pldsopt")
+    p.add_argument("--threads", type=int, default=60,
+                   help="processor count for the simulated T_p telemetry")
+    p.set_defaults(fn=cmd_service)
 
     p = sub.add_parser(
         "bench", help="perf-regression suite (writes BENCH_<label>.json)"

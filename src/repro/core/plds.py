@@ -246,14 +246,14 @@ class PLDS:
         # ``c >= ceil(b)``, so the int comparisons are exactly equivalent
         # while skipping float conversion on every check.
         self._group_of_level = [
-            l // self.levels_per_group for l in range(self.num_levels)
+            lvl // self.levels_per_group for lvl in range(self.num_levels)
         ]
         self._inv1_bound = [
             self.upper_coeff * (1.0 + delta) ** g for g in self._group_of_level
         ]
         self._inv2_thresh = [0.0] + [
-            (1.0 + delta) ** self._group_of_level[l - 1]
-            for l in range(1, self.num_levels)
+            (1.0 + delta) ** self._group_of_level[lvl - 1]
+            for lvl in range(1, self.num_levels)
         ]
         self._inv1_bound_int = [math.floor(b) for b in self._inv1_bound]
         self._inv2_thresh_int = [math.ceil(t) for t in self._inv2_thresh]
@@ -1077,13 +1077,13 @@ class PLDS:
         O(log K) depth.
         """
         rec = self._vertices[v]
-        l = rec.level
+        lvl = rec.level
         cnt = len(rec.up)
         scanned = 1
         best = 0
         down_get = rec.down.get
         thresholds = self._inv2_thresh_int
-        for lprime in range(l, 0, -1):
+        for lprime in range(lvl, 0, -1):
             bucket = down_get(lprime - 1)
             if bucket:
                 cnt += len(bucket)
@@ -1322,31 +1322,31 @@ class PLDS:
         """
         problems: list[str] = []
         for v, rec in self._vertices.items():
-            l = rec.level
+            lvl = rec.level
             actual_deg = len(rec.up) + sum(len(s) for s in rec.down.values())
             if rec.deg != actual_deg:
                 problems.append(
                     f"cached degree of v={v} is {rec.deg}, "
                     f"structures hold {actual_deg}"
                 )
-            if len(rec.up) > self.inv1_bound(l):
+            if len(rec.up) > self.inv1_bound(lvl):
                 problems.append(
                     f"Invariant 1 violated at v={v}: up={len(rec.up)} > "
-                    f"{self.inv1_bound(l):.2f} (level {l})"
+                    f"{self.inv1_bound(lvl):.2f} (level {lvl})"
                 )
-            if l > 0 and rec.degree() > 0:
-                up_star = len(rec.up) + len(rec.down.get(l - 1, ()))
-                if up_star < self.inv2_threshold(l):
+            if lvl > 0 and rec.degree() > 0:
+                up_star = len(rec.up) + len(rec.down.get(lvl - 1, ()))
+                if up_star < self.inv2_threshold(lvl):
                     problems.append(
                         f"Invariant 2 violated at v={v}: up*={up_star} < "
-                        f"{self.inv2_threshold(l):.2f} (level {l})"
+                        f"{self.inv2_threshold(lvl):.2f} (level {lvl})"
                     )
             for wrec in rec.up:
-                if wrec.level < l:
-                    problems.append(f"U[{v}] holds {wrec.id} below level {l}")
+                if wrec.level < lvl:
+                    problems.append(f"U[{v}] holds {wrec.id} below level {lvl}")
             for j, bucket in rec.down.items():
-                if j >= l:
-                    problems.append(f"L_{v}[{j}] exists at/above level {l}")
+                if j >= lvl:
+                    problems.append(f"L_{v}[{j}] exists at/above level {lvl}")
                 for wrec in bucket:
                     if wrec.level != j:
                         problems.append(

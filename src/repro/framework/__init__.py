@@ -13,7 +13,6 @@ Convenience constructors wire each application to a
 
 from __future__ import annotations
 
-from ..parallel.engine import WorkDepthTracker
 from .clique_tables import CliqueCounterTables
 from .cliques import CliqueCounter
 from .coloring import ExplicitColoring, ImplicitColoring

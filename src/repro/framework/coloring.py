@@ -61,7 +61,7 @@ class ExplicitColoring:
     def color_id(self, v: int) -> int:
         """Flattened global color id (for palette-size measurements)."""
         level, idx = self.color(v)
-        offset = sum(self.palette_size(l) for l in range(level))
+        offset = sum(self.palette_size(lvl) for lvl in range(level))
         return offset + idx
 
     def _same_level_neighbor_colors(self, v: int) -> set[int]:

@@ -163,12 +163,14 @@ def preprocess_batch(
 
     Per Section 8: sort by (edge, timestamp), keep the latest update per
     edge, then keep only insertions of non-existent edges and deletions of
-    existing edges.  Insertions and deletions within the returned batch are
-    therefore disjoint and individually valid.
+    existing edges.  Self-loops (invalid in the paper's simple-graph
+    setting) are dropped outright.  Insertions and deletions within the
+    returned batch are therefore disjoint and individually valid.
     """
     latest: dict[tuple[int, int], EdgeUpdate] = {}
     for upd in sorted(updates, key=lambda x: (x.edge, x.timestamp)):
-        latest[upd.edge] = upd
+        if upd.u != upd.v:
+            latest[upd.edge] = upd
     batch = Batch()
     for edge, upd in latest.items():
         if upd.is_insert and not graph.has_edge(*edge):

@@ -19,7 +19,6 @@ are exactly what the parallel primitive would produce.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
 from .engine import WorkDepthTracker

@@ -1,0 +1,9 @@
+"""Batch-serving layer: sessions that apply update batches and serve reads.
+
+:class:`CoreService` is the single entry point the scaling roadmap
+(sharding, async reads, caching) extends — see :mod:`repro.service.core`.
+"""
+
+from .core import BatchTelemetry, CoreService, ServiceSnapshot
+
+__all__ = ["BatchTelemetry", "CoreService", "ServiceSnapshot"]

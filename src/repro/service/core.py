@@ -1,0 +1,339 @@
+"""`CoreService`: a batch-serving session over one registered engine.
+
+The ROADMAP's north star is serving batched updates and coreness queries
+at production scale (sharding, async reads, caching).  ``CoreService``
+is the seam those PRs extend: one session object that
+
+- owns a :class:`~repro.graphs.dynamic_graph.DynamicGraph` mirror plus a
+  registry-selected engine (any :func:`repro.registry.make_adapter` key,
+  or a Section-8 framework application hosted on the PLDS);
+- accepts *raw* update streams — :meth:`CoreService.apply_updates`
+  preprocesses them per Section 8 (dedupe by timestamp, validate against
+  the current graph) via :func:`repro.graphs.streams.preprocess_batch` —
+  or already-valid :class:`~repro.graphs.streams.Batch` objects;
+- answers coreness / core-membership / core-subgraph queries against the
+  *current* state, or against a :class:`ServiceSnapshot` so reads can
+  proceed consistently while later batches apply (the asynchronous-reads
+  model of Liu–Shun–Zablotchi);
+- emits per-batch :class:`BatchTelemetry` — metered work/depth, wall
+  time, and the simulated parallel running time ``T_p`` under
+  :class:`~repro.parallel.scheduler.BrentScheduler`.
+
+Example
+-------
+>>> from repro.service import CoreService
+>>> from repro.graphs.streams import EdgeUpdate
+>>> svc = CoreService("plds", n_hint=100)
+>>> t = svc.apply_updates([
+...     EdgeUpdate(0, 1, True), EdgeUpdate(1, 2, True),
+...     EdgeUpdate(0, 2, True), EdgeUpdate(0, 2, True),  # duplicate: dropped
+... ])
+>>> (t.insertions, svc.coreness(0) >= 1.0)
+(3, True)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.plds import PLDS
+from ..graphs.dynamic_graph import DynamicGraph
+from ..graphs.streams import Batch, EdgeUpdate, preprocess_batch
+from ..parallel.engine import Cost
+from ..parallel.scheduler import BrentScheduler
+from ..registry import (
+    DynamicKCoreAdapter,
+    algorithm_spec,
+    make_adapter,
+    make_application,
+)
+
+__all__ = ["BatchTelemetry", "ServiceSnapshot", "CoreService"]
+
+
+@dataclass(frozen=True)
+class BatchTelemetry:
+    """Cost of serving one batch.
+
+    ``t_p`` is the simulated parallel running time at the service's
+    thread count (Brent's bound, ``W/p + D``); sequential engines are
+    always charged at ``p = 1``.
+    """
+
+    batch_id: int
+    insertions: int
+    deletions: int
+    work: int
+    depth: int
+    wall_seconds: float
+    threads: int
+    t_p: float
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """A consistent read view of the service at one batch boundary.
+
+    Queries on the snapshot (:meth:`coreness`, :meth:`core_members`)
+    never change, no matter how many batches the live service applies
+    afterwards — this is the consistency contract asynchronous readers
+    rely on.  ``engine_state`` additionally holds the engine's exact
+    structural snapshot when the registry marks the algorithm
+    ``snapshot``-capable (the PLDS family), letting
+    :meth:`CoreService.restore` rebuild levels bit-identically instead
+    of replaying the edge set.
+    """
+
+    snapshot_id: int
+    algorithm: str
+    batches_applied: int
+    edges: tuple[tuple[int, int], ...]
+    estimates: Mapping[int, float] = field(repr=False)
+    engine_state: dict | None = field(default=None, repr=False)
+
+    def coreness(self, v: int) -> float:
+        """Coreness estimate of ``v`` as of the snapshot (0.0 if absent)."""
+        return float(self.estimates.get(v, 0.0))
+
+    def coreness_map(self) -> dict[int, float]:
+        """All estimates as of the snapshot."""
+        return dict(self.estimates)
+
+    def core_members(self, k: float) -> set[int]:
+        """Vertices whose snapshotted estimate is at least ``k``."""
+        return {v for v, c in self.estimates.items() if c >= k}
+
+
+class CoreService:
+    """One serving session: registry-selected engine + graph mirror.
+
+    Parameters
+    ----------
+    algorithm:
+        A :mod:`repro.registry` algorithm key.  Ignored when
+        ``application`` is given (framework applications always run on
+        the PLDS their driver owns).
+    n_hint:
+        Expected vertex-id bound, forwarded to the engine.
+    threads:
+        Processor count used for the simulated ``T_p`` telemetry.
+    scheduler:
+        The :class:`BrentScheduler` converting (work, depth) to ``T_p``.
+    application:
+        Optional :mod:`repro.registry` application key ("matching",
+        "cliques", ...).  The hosted app is exposed as
+        :attr:`application`; coreness queries read the driver's PLDS.
+    **engine_kwargs:
+        Forwarded to :func:`repro.registry.make_adapter` (``delta``,
+        ``lam``, ...) or to the application factory.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "pldsopt",
+        *,
+        n_hint: int = 1024,
+        threads: int = 60,
+        scheduler: BrentScheduler | None = None,
+        application: str | None = None,
+        **engine_kwargs: Any,
+    ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.n_hint = n_hint
+        self.threads = threads
+        self.scheduler = scheduler if scheduler is not None else BrentScheduler()
+        self.application_key = application
+        self._engine_kwargs = dict(engine_kwargs)
+        self.telemetry: list[BatchTelemetry] = []
+        self.batches_applied = 0
+        self._snapshot_counter = 0
+        self._graph = DynamicGraph()
+        self._driver = None
+        self.application = None
+        if application is not None:
+            self.algorithm = "plds"
+            self._driver, self.application = make_application(
+                application, n_hint, **engine_kwargs
+            )
+            self._adapter = DynamicKCoreAdapter(
+                "plds", self._driver.plds, is_exact=False
+            )
+        else:
+            self.algorithm = algorithm
+            self._adapter = make_adapter(algorithm, n_hint, **engine_kwargs)
+        self.spec = algorithm_spec(self.algorithm)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    @property
+    def total_cost(self) -> Cost:
+        """Metered (work, depth) accumulated by the engine so far."""
+        return self._adapter.cost
+
+    def space_bytes(self) -> int:
+        return self._adapter.space_bytes()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    # -- updates ---------------------------------------------------------
+
+    def apply_updates(self, updates: Iterable[EdgeUpdate]) -> BatchTelemetry:
+        """Preprocess a raw update stream (Section 8) and apply it.
+
+        Duplicates collapse to the latest timestamp per edge; insertions
+        of present edges and deletions of absent edges are dropped.
+        """
+        return self.apply_batch(preprocess_batch(self._graph, updates))
+
+    def apply_batch(self, batch: Batch) -> BatchTelemetry:
+        """Apply one batch of *unique, valid* updates; record telemetry."""
+        before = self._adapter.cost
+        t0 = time.perf_counter()
+        if self._driver is not None:
+            self._driver.update(batch)
+        else:
+            self._adapter.update(batch)
+        wall = time.perf_counter() - t0
+        # Mirror only after the engine accepted the batch, so a rejected
+        # (invalid) batch leaves service state untouched.
+        for u, v in batch.insertions:
+            self._graph.insert_edge(u, v)
+        for u, v in batch.deletions:
+            self._graph.delete_edge(u, v)
+        after = self._adapter.cost
+        delta = Cost(after.work - before.work, after.depth - before.depth)
+        self.batches_applied += 1
+        entry = BatchTelemetry(
+            batch_id=self.batches_applied,
+            insertions=len(batch.insertions),
+            deletions=len(batch.deletions),
+            work=delta.work,
+            depth=delta.depth,
+            wall_seconds=wall,
+            threads=self.threads if self.spec.parallel else 1,
+            t_p=self.scheduler.time(
+                delta, self.threads if self.spec.parallel else 1
+            ),
+        )
+        self.telemetry.append(entry)
+        return entry
+
+    # -- queries ---------------------------------------------------------
+
+    def coreness(self, v: int) -> float:
+        """Current coreness estimate of ``v`` (0.0 for unknown vertices)."""
+        impl = self._adapter.impl
+        estimate = getattr(impl, "coreness_estimate", None)
+        if estimate is not None:
+            return float(estimate(v))
+        return float(self._adapter.estimates().get(v, 0.0))
+
+    def coreness_map(self) -> dict[int, float]:
+        """Current estimates for every vertex the engine has seen."""
+        return self._adapter.estimates()
+
+    def core_members(self, k: float) -> set[int]:
+        """Vertices admitted to the (approximate) k-core at value ``k``.
+
+        For exact engines this is the true k-core membership.  For the
+        PLDS family it is the Lemma-5.13 superset filter of
+        :func:`repro.static_kcore.subgraphs.approx_k_core_candidates`
+        (contains every true member, may admit low-coreness extras); for
+        other approximate engines a plain ``estimate >= k`` threshold.
+        """
+        impl = self._adapter.impl
+        if isinstance(impl, PLDS) and k > 0:
+            from ..static_kcore.subgraphs import approx_k_core_candidates
+
+            return approx_k_core_candidates(impl, k)
+        return {v for v, c in self.coreness_map().items() if c >= k}
+
+    def core_subgraph(self, k: int) -> tuple[set[int], list[tuple[int, int]]]:
+        """The *exact* k-core of the current graph (vertices, edges).
+
+        Computed by peeling the service's graph mirror — exact regardless
+        of which engine serves the fast approximate queries.
+        """
+        from ..static_kcore.subgraphs import k_core_subgraph
+
+        return k_core_subgraph(self._graph.edges(), k)
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Freeze a consistent read view (and restore point) of the state."""
+        engine_state = None
+        if self._driver is None and self.spec.snapshot:
+            engine_state = self._adapter.impl.to_snapshot()
+        self._snapshot_counter += 1
+        return ServiceSnapshot(
+            snapshot_id=self._snapshot_counter,
+            algorithm=self.algorithm,
+            batches_applied=self.batches_applied,
+            edges=tuple(sorted(self._graph.edges())),
+            estimates=self.coreness_map(),
+            engine_state=engine_state,
+        )
+
+    def restore(self, snapshot: ServiceSnapshot) -> None:
+        """Roll the service back to ``snapshot``.
+
+        Snapshot-capable engines (PLDS family) are rebuilt bit-exactly
+        from their structural snapshot; everything else — including
+        hosted applications — is rebuilt by replaying the snapshotted
+        edge set as one insertion batch.  Telemetry is an append-only
+        log and is kept; :attr:`batches_applied` rewinds.
+        """
+        if snapshot.algorithm != self.algorithm:
+            raise ValueError(
+                f"snapshot was taken from {snapshot.algorithm!r}, "
+                f"this service runs {self.algorithm!r}"
+            )
+        edges: Sequence[tuple[int, int]] = snapshot.edges
+        if self._driver is not None:
+            assert self.application_key is not None
+            self._driver, self.application = make_application(
+                self.application_key, self.n_hint, **self._engine_kwargs
+            )
+            self._adapter = DynamicKCoreAdapter(
+                "plds", self._driver.plds, is_exact=False
+            )
+            if edges:
+                self._driver.update(Batch(insertions=list(edges)))
+        elif snapshot.engine_state is not None:
+            impl_cls = type(self._adapter.impl)
+            self._adapter = DynamicKCoreAdapter(
+                self.algorithm,
+                impl_cls.from_snapshot(snapshot.engine_state),
+                self.spec.exact,
+            )
+        else:
+            self._adapter = make_adapter(
+                self.algorithm, self.n_hint, **self._engine_kwargs
+            )
+            self._adapter.initialize(list(edges))
+        self._graph = DynamicGraph(edges)
+        self.batches_applied = snapshot.batches_applied
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host = (
+            f"application={self.application_key!r}"
+            if self.application_key
+            else f"algorithm={self.algorithm!r}"
+        )
+        return (
+            f"CoreService({host}, n={self.num_vertices}, m={self.num_edges}, "
+            f"batches={self.batches_applied})"
+        )

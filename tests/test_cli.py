@@ -135,3 +135,23 @@ class TestWindow:
         )
         assert code == 0
         assert "window=40" in out
+
+
+class TestService:
+    def test_serving_session_with_telemetry(self, capsys):
+        code, out = run_cli(
+            capsys, "service", "--dataset", "ctr", "--scale", "0.15",
+            "--batch-size", "10",
+        )
+        assert code == 0
+        assert "T_p" in out                  # per-batch simulated time column
+        assert "snapshot #1" in out          # mid-stream consistent snapshot
+        assert "busiest vertex" in out
+
+    def test_any_registry_algorithm_serves(self, capsys):
+        code, out = run_cli(
+            capsys, "service", "--dataset", "ctr", "--scale", "0.15",
+            "--algorithm", "zhang", "--max-batches", "2",
+        )
+        assert code == 0
+        assert "algorithm=zhang" in out
