@@ -42,11 +42,18 @@ Quickstart
 
 from .core.lds import LDS
 from .core.plds import PLDS, UpdateResult
+from .faults import FaultPlan, FaultPoint, InjectedFault
 from .graphs.dynamic_graph import DynamicGraph
-from .graphs.streams import Batch, EdgeUpdate
+from .graphs.streams import Batch, EdgeUpdate, UpdateJournal
 from .parallel.engine import Cost, WorkDepthTracker
 from .registry import algorithm_keys, make_adapter
-from .service import BatchTelemetry, CoreService, ServiceSnapshot
+from .service import (
+    AuditPolicy,
+    BatchTelemetry,
+    CoreService,
+    RetryPolicy,
+    ServiceSnapshot,
+)
 from .static_kcore.approx import approx_coreness_static
 from .static_kcore.exact import exact_coreness
 
@@ -64,6 +71,12 @@ __all__ = [
     "CoreService",
     "BatchTelemetry",
     "ServiceSnapshot",
+    "RetryPolicy",
+    "AuditPolicy",
+    "UpdateJournal",
+    "FaultPlan",
+    "FaultPoint",
+    "InjectedFault",
     "algorithm_keys",
     "make_adapter",
     "approx_coreness_static",

@@ -1,0 +1,226 @@
+"""Chaos harness: randomized fault injection against the serving layer.
+
+The fault substrate (:mod:`repro.faults`) can crash the stack at any of
+its named sites; the transactional serving layer (:mod:`repro.service`)
+claims it recovers from every such crash with **bit-identical** final
+coreness state.  This module turns that claim into a repeatable
+experiment:
+
+1. run the workload once with no faults → the *baseline* coreness map;
+2. run it once more under a recording plan → the fault-site *census*
+   (how many times each site is reached, i.e. which crashes are even
+   possible on this workload);
+3. for each trial, draw a seeded :func:`repro.faults.random_plan` (one
+   armed fault at a uniformly random live site/hit), run the same
+   workload under it, and compare the final ``coreness_map()`` against
+   the baseline.
+
+A trial passes only if the fault actually fired, the service rolled back
+and retried, and the end state is exactly the baseline.  The report is
+JSON-serializable for CI (the ``chaos-smoke`` job runs ``repro chaos``
+on a small power-law workload with a fixed seed).
+
+The workload interleaves insertion and deletion batches of a
+Barabási–Albert graph — deletions are required to make the
+``plds.desaturate`` site (RebalanceDeletions) reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import faults
+from ..graphs.generators import barabasi_albert
+from ..graphs.streams import Batch, deletion_batches, insertion_batches
+from ..service import AuditPolicy, CoreService, RetryPolicy
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTrial",
+    "chaos_workload",
+    "run_chaos",
+]
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """Outcome of one workload run under one randomized fault plan."""
+
+    seed: int
+    site: str
+    hit_number: int
+    fired: bool
+    parity: bool
+    rolled_back_batches: int
+    total_attempts: int
+    degraded: bool
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the fault fire *and* the service recover bit-identically?"""
+        return self.fired and self.parity and self.error is None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "site": self.site,
+            "hit_number": self.hit_number,
+            "fired": self.fired,
+            "parity": self.parity,
+            "rolled_back_batches": self.rolled_back_batches,
+            "total_attempts": self.total_attempts,
+            "degraded": self.degraded,
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Full chaos-run record: workload, census, and per-trial outcomes."""
+
+    algorithm: str
+    vertices: int
+    batch_size: int
+    seed: int
+    updates: int
+    batches: int
+    census: dict[str, int] = field(repr=False)
+    trials: tuple[ChaosTrial, ...] = field(repr=False, default=())
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.trials) and all(t.ok for t in self.trials)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "format": 1,
+            "algorithm": self.algorithm,
+            "vertices": self.vertices,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "updates": self.updates,
+            "batches": self.batches,
+            "census": dict(self.census),
+            "trials": [t.to_json_dict() for t in self.trials],
+            "ok": self.ok,
+        }
+
+
+def chaos_workload(
+    vertices: int,
+    batch_size: int,
+    seed: int,
+    attach: int = 3,
+    delete_fraction: float = 0.5,
+) -> list[Batch]:
+    """A mixed insert-then-delete stream over a power-law graph.
+
+    All edges of a Barabási–Albert graph are inserted in batches, then a
+    ``delete_fraction`` of them deleted in batches — enough Invariant-2
+    pressure to make every fault site (including ``plds.desaturate``)
+    reachable.
+    """
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError("delete_fraction must be in [0, 1]")
+    edges = barabasi_albert(vertices, attach, seed=seed)
+    doomed = edges[: int(len(edges) * delete_fraction)]
+    return insertion_batches(edges, batch_size, seed=seed) + deletion_batches(
+        doomed, batch_size, seed=seed
+    )
+
+
+def _serve(
+    batches: Sequence[Batch],
+    algorithm: str,
+    n_hint: int,
+    plan: faults.FaultPlan | None,
+) -> CoreService:
+    service = CoreService(
+        algorithm,
+        n_hint=n_hint,
+        retry=RetryPolicy(max_attempts=3),
+        audit=AuditPolicy("on-recovery"),
+    )
+    if plan is None:
+        for batch in batches:
+            service.apply_batch(batch)
+        return service
+    with faults.active(plan):
+        for batch in batches:
+            service.apply_batch(batch)
+    return service
+
+
+def run_chaos(
+    algorithm: str = "pldsopt",
+    vertices: int = 150,
+    batch_size: int = 50,
+    trials: int = 8,
+    seed: int = 0,
+    delete_fraction: float = 0.5,
+) -> ChaosReport:
+    """Run the chaos experiment; see the module docstring for the design.
+
+    Raises ``ValueError`` if the workload leaves *no* fault site
+    reachable (that would make every trial vacuous, not a pass).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    batches = chaos_workload(
+        vertices, batch_size, seed, delete_fraction=delete_fraction
+    )
+    n_hint = vertices + 1
+    baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
+
+    census = faults.recording_plan()
+    _serve(batches, algorithm, n_hint, census)
+    if not any(census.counts.values()):
+        raise ValueError("workload reaches no fault site; nothing to test")
+
+    results: list[ChaosTrial] = []
+    for i in range(trials):
+        plan = faults.random_plan(seed + i, census.counts)
+        point = plan.points[0]
+        error: str | None = None
+        service: CoreService | None = None
+        try:
+            service = _serve(batches, algorithm, n_hint, plan)
+        except Exception as exc:  # recovery failed: the finding we hunt
+            error = f"{type(exc).__name__}: {exc}"
+        results.append(
+            ChaosTrial(
+                seed=seed + i,
+                site=point.site,
+                hit_number=point.hit_number,
+                fired=bool(plan.fired),
+                parity=(
+                    service is not None
+                    and service.coreness_map() == baseline
+                ),
+                rolled_back_batches=(
+                    sum(t.rolled_back for t in service.telemetry)
+                    if service is not None
+                    else 0
+                ),
+                total_attempts=(
+                    sum(t.attempts for t in service.telemetry)
+                    if service is not None
+                    else 0
+                ),
+                degraded=service.degraded if service is not None else False,
+                error=error,
+            )
+        )
+    return ChaosReport(
+        algorithm=algorithm,
+        vertices=vertices,
+        batch_size=batch_size,
+        seed=seed,
+        updates=sum(len(b) for b in batches),
+        batches=len(batches),
+        census=dict(census.counts),
+        trials=tuple(results),
+    )

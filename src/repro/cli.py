@@ -359,6 +359,45 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from .bench.chaos import run_chaos
+
+    report = run_chaos(
+        algorithm=args.algorithm,
+        vertices=args.vertices,
+        batch_size=args.batch_size or 50,
+        trials=args.trials,
+        seed=args.seed,
+        delete_fraction=args.delete_fraction,
+    )
+    print(
+        f"chaos: algorithm={report.algorithm} vertices={report.vertices} "
+        f"batch={report.batch_size} seed={report.seed} "
+        f"({report.updates} updates in {report.batches} batches)"
+    )
+    print("  fault-site census : "
+          + " ".join(f"{s}={c}" for s, c in report.census.items()))
+    print(f"{'trial':>5s} {'site':18s} {'hit':>4s} {'fired':>5s} "
+          f"{'rolled':>6s} {'parity':>6s}")
+    for t in report.trials:
+        flag = "" if t.ok else ("  " + (t.error or "PARITY MISMATCH"))
+        print(
+            f"{t.seed:5d} {t.site:18s} {t.hit_number:4d} "
+            f"{str(t.fired):>5s} {t.rolled_back_batches:6d} "
+            f"{str(t.parity):>6s}{flag}"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    ok = report.ok
+    print(f"chaos recovery check: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -434,6 +473,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_service)
 
     p = sub.add_parser(
+        "chaos",
+        help="fault-injection recovery check (randomized crash plans)",
+    )
+    p.add_argument("--algorithm", choices=algorithm_keys(dynamic=True),
+                   default="pldsopt")
+    p.add_argument("--vertices", type=int, default=150,
+                   help="power-law workload size (Barabási–Albert)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="updates per batch (default: 50)")
+    p.add_argument("--trials", type=int, default=8,
+                   help="randomized fault plans to run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--delete-fraction", type=float, default=0.5,
+                   help="fraction of edges deleted after insertion")
+    p.add_argument("--json", default=None,
+                   help="also write the full report as JSON to this path")
+    p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
         "bench", help="perf-regression suite (writes BENCH_<label>.json)"
     )
     p.add_argument("--scale", type=float, default=1.0,
@@ -463,6 +521,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # output piped into e.g. `head`
         return 0
+    except (ValueError, KeyError) as exc:
+        # Malformed input files, unknown registry keys, bad parameter
+        # combinations: one actionable line, not a traceback.
+        detail = exc.args[0] if exc.args else exc
+        print(f"repro: error: {detail}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

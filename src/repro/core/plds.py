@@ -44,6 +44,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from .. import faults as _faults
 from ..graphs.dynamic_graph import canonical_edge
 from ..graphs.streams import Batch
 from ..parallel.engine import WorkDepthTracker
@@ -587,11 +588,14 @@ class PLDS:
         track = self.track_orientation
         touched = self._touched
         mut_depth = self._mut_depth
+        fault_plan = _faults.ACTIVE
 
         # Process levels bottom-up; Lemma 5.5 guarantees each level is
         # visited at most once (marks only propagate upward, so min(dirty)
         # is non-decreasing across iterations).
         while dirty:
+            if fault_plan is not None:
+                fault_plan.hit("plds.rise")
             level = min(dirty)
             candidates = dirty.pop(level)
             tracker.add(work=1, depth=1)  # the level-loop iteration itself
@@ -955,7 +959,10 @@ class PLDS:
         # level minus one).  We therefore revalidate dl(v) at move time;
         # a changed value re-enqueues the vertex (desire-levels only
         # decrease during a deletion phase, so this terminates).
+        fault_plan = _faults.ACTIVE
         while pending:
+            if fault_plan is not None:
+                fault_plan.hit("plds.desaturate")
             level = min(pending)
             movers = [
                 v

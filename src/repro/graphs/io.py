@@ -19,19 +19,32 @@ def read_edge_list(path: str | os.PathLike[str]) -> list[tuple[int, int]]:
     """Read a whitespace-separated edge list, cleaned per the paper.
 
     Lines starting with ``#`` or ``%`` are comments.  Returns canonical
-    deduplicated edges in first-appearance order.
+    deduplicated edges in first-appearance order.  Malformed or negative
+    lines raise ``ValueError`` naming the file and line number.
     """
     seen: set[tuple[int, int]] = set()
     edges: list[tuple[int, int]] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line or line[0] in "#%":
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            u, v = int(parts[0]), int(parts[1])
+                raise ValueError(
+                    f"{path}:{lineno}: malformed edge line {line!r} "
+                    "(expected two whitespace-separated vertex ids)"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer vertex id in {line!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative vertex id in {line!r}"
+                )
             if u == v:
                 continue
             e = canonical_edge(u, v)

@@ -14,11 +14,14 @@ protocols:
 
 This module also provides batch *preprocessing* (Section 8): deduplicating
 updates per edge (latest timestamp wins) and filtering to valid updates
-(insert only non-existent edges, delete only existing ones).
+(insert only non-existent edges, delete only existing ones), plus the
+write-ahead :class:`UpdateJournal` the serving layer uses for
+transactional batch application and crash recovery.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -28,22 +31,34 @@ from .dynamic_graph import DynamicGraph, canonical_edge
 __all__ = [
     "EdgeUpdate",
     "Batch",
+    "JournalRecord",
+    "UpdateJournal",
     "insertion_batches",
     "deletion_batches",
     "mixed_batch",
     "sliding_window_batches",
     "preprocess_batch",
+    "validate_vertex_ids",
 ]
 
 
 @dataclass(frozen=True)
 class EdgeUpdate:
-    """A single timestamped edge update."""
+    """A single timestamped edge update.
+
+    Vertex ids are non-negative by construction — a negative id is a
+    corrupted update, not a graph mutation, and is rejected here so it
+    cannot travel any further down the pipeline.
+    """
 
     u: int
     v: int
     is_insert: bool
     timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.u < 0 or self.v < 0:
+            raise ValueError(f"negative vertex id in update {self!r}")
 
     @property
     def edge(self) -> tuple[int, int]:
@@ -178,3 +193,139 @@ def preprocess_batch(
         elif not upd.is_insert and graph.has_edge(*edge):
             batch.deletions.append(edge)
     return batch
+
+
+def validate_vertex_ids(batch: Batch) -> None:
+    """Reject negative vertex ids, naming the offending update.
+
+    :class:`EdgeUpdate` already rejects negative ids at construction, so
+    streams built from updates are clean; this guards :class:`Batch`
+    objects assembled directly from tuples (the ``apply_batch`` path),
+    keeping the two entry points consistent.
+    """
+    for u, v in batch.insertions:
+        if u < 0 or v < 0:
+            raise ValueError(f"negative vertex id in insertion ({u},{v})")
+    for u, v in batch.deletions:
+        if u < 0 or v < 0:
+            raise ValueError(f"negative vertex id in deletion ({u},{v})")
+
+
+# ----------------------------------------------------------------------
+# Write-ahead update journal (transactional serving, crash recovery)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JournalRecord:
+    """One journaled batch: the update set plus its transaction status.
+
+    ``status`` follows write-ahead-log semantics: a batch is journaled as
+    ``"pending"`` *before* the engine sees it, then marked
+    ``"committed"`` once the engine and the graph mirror both accepted
+    it, or ``"aborted"`` when every apply attempt failed and the service
+    rolled back.  Replaying the committed prefix of a journal
+    reconstructs the exact pre-crash batch sequence.
+    """
+
+    seq: int
+    insertions: tuple[tuple[int, int], ...]
+    deletions: tuple[tuple[int, int], ...]
+    status: str = "pending"
+
+    def batch(self) -> Batch:
+        return Batch(
+            insertions=[tuple(e) for e in self.insertions],
+            deletions=[tuple(e) for e in self.deletions],
+        )
+
+
+class UpdateJournal:
+    """An append-only write-ahead log of served batches.
+
+    The serving layer journals every batch before applying it and
+    settles the record afterwards (:meth:`commit` / :meth:`abort`); the
+    committed prefix is therefore always a faithful, replayable history
+    of the engine's state.  :meth:`to_json_dict` / :meth:`from_json_dict`
+    round-trip the log through JSON so a crashed process can be rebuilt
+    from disk (``CoreService.from_journal``).
+    """
+
+    def __init__(self) -> None:
+        self.records: list[JournalRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def begin(self, batch: Batch) -> JournalRecord:
+        """Append a ``pending`` record for ``batch`` (the write-ahead step)."""
+        record = JournalRecord(
+            seq=len(self.records) + 1,
+            insertions=tuple(tuple(e) for e in batch.insertions),
+            deletions=tuple(tuple(e) for e in batch.deletions),
+        )
+        self.records.append(record)
+        return record
+
+    def commit(self, record: JournalRecord) -> None:
+        record.status = "committed"
+
+    def abort(self, record: JournalRecord) -> None:
+        record.status = "aborted"
+
+    def committed_batches(self) -> list[Batch]:
+        """The replayable history: committed batches in sequence order."""
+        return [r.batch() for r in self.records if r.status == "committed"]
+
+    # -- serialization -------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "format": 1,
+            "records": [
+                {
+                    "seq": r.seq,
+                    "insertions": [list(e) for e in r.insertions],
+                    "deletions": [list(e) for e in r.deletions],
+                    "status": r.status,
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "UpdateJournal":
+        if data.get("format") != 1:
+            raise ValueError("unsupported journal format")
+        journal = cls()
+        for raw in data["records"]:
+            if raw["status"] not in ("pending", "committed", "aborted"):
+                raise ValueError(f"unknown journal status {raw['status']!r}")
+            journal.records.append(
+                JournalRecord(
+                    seq=int(raw["seq"]),
+                    insertions=tuple(
+                        (int(u), int(v)) for u, v in raw["insertions"]
+                    ),
+                    deletions=tuple(
+                        (int(u), int(v)) for u, v in raw["deletions"]
+                    ),
+                    status=raw["status"],
+                )
+            )
+        return journal
+
+    def dump(self, path: str) -> None:
+        """Write the journal as JSON (one crash-recovery restore point)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "UpdateJournal":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json_dict(json.load(fh))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        committed = sum(1 for r in self.records if r.status == "committed")
+        return f"UpdateJournal({committed}/{len(self.records)} committed)"

@@ -46,7 +46,23 @@ __all__ = [
     "Cost",
     "parfor",
     "parmap",
+    "set_fault_hook",
 ]
+
+
+#: Fault-injection hook for the ``engine.parfor`` site.  This layer has
+#: no imports from the rest of the package (see docs/architecture.md),
+#: so :mod:`repro.faults` pushes its hook in via :func:`set_fault_hook`
+#: instead of being imported here.  ``None`` (the default) keeps every
+#: parfor at one module-global load plus a branch — the zero-overhead
+#: contract the perf harness gates.
+_FAULT_HOOK: Callable[[str], None] | None = None
+
+
+def set_fault_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or with ``None`` remove) the ``engine.parfor`` fault hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
 
 
 @dataclass(frozen=True)
@@ -185,6 +201,8 @@ class WorkDepthTracker:
         iteration — the dominant interpreter overhead of fine-grained
         loops with hundreds of thousands of branches per batch.
         """
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("engine.parfor")
         stack = self._stack
         scratch = _Frame()
         stack.append(scratch)
@@ -280,6 +298,8 @@ class NullTracker(WorkDepthTracker):
         yield self._null_scope
 
     def flat_parfor(self, items: Iterable[T], body: Callable[[T], None]) -> None:
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("engine.parfor")
         for item in items:
             body(item)
 
@@ -296,6 +316,8 @@ def parfor(
     costs compose in parallel: total work is the sum over iterations, total
     depth the maximum over iterations.
     """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK("engine.parfor")
     with tracker.parallel() as par:
         for item in items:
             with par.branch():

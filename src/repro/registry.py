@@ -52,6 +52,7 @@ __all__ = [
     "application_spec",
     "make_adapter",
     "make_application",
+    "rebuild_adapter",
     "register_algorithm",
     "register_application",
 ]
@@ -254,6 +255,25 @@ def make_adapter(
         "group_shrink_opt": group_shrink_opt,
     }
     return algorithm_spec(key).factory(n_hint, params)
+
+
+def rebuild_adapter(
+    key: str,
+    n_hint: int,
+    edges: Sequence[tuple[int, int]],
+    **kwargs: Any,
+) -> DynamicKCoreAdapter:
+    """Rebuild-from-mirror: a fresh engine initialized with ``edges``.
+
+    The recovery seam of the serving layer's degradation ladder: when an
+    engine is quarantined (failed audit, unrecoverable fault), the
+    service rebuilds a replacement of any registered ``key`` directly
+    from its graph mirror.  Works for every registry key — including
+    ``"exactkcore"``, the exact static recompute used as last resort.
+    """
+    adapter = make_adapter(key, n_hint, **kwargs)
+    adapter.initialize(list(edges))
+    return adapter
 
 
 # -- built-in algorithm entries (the one table) ------------------------

@@ -4,6 +4,18 @@
 (sharding, async reads, caching) extends — see :mod:`repro.service.core`.
 """
 
-from .core import BatchTelemetry, CoreService, ServiceSnapshot
+from .core import (
+    AuditPolicy,
+    BatchTelemetry,
+    CoreService,
+    RetryPolicy,
+    ServiceSnapshot,
+)
 
-__all__ = ["BatchTelemetry", "CoreService", "ServiceSnapshot"]
+__all__ = [
+    "AuditPolicy",
+    "BatchTelemetry",
+    "CoreService",
+    "RetryPolicy",
+    "ServiceSnapshot",
+]

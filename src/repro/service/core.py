@@ -11,13 +11,25 @@ is the seam those PRs extend: one session object that
   preprocesses them per Section 8 (dedupe by timestamp, validate against
   the current graph) via :func:`repro.graphs.streams.preprocess_batch` —
   or already-valid :class:`~repro.graphs.streams.Batch` objects;
+- applies every batch **transactionally**: the batch is journaled to a
+  write-ahead :class:`~repro.graphs.streams.UpdateJournal` before the
+  engine sees it, and any exception mid-apply (including an
+  :class:`~repro.faults.InjectedFault` from the fault-injection
+  substrate) rolls the engine back to its exact pre-batch state and
+  retries per a :class:`RetryPolicy`;
+- audits engine health per an :class:`AuditPolicy` and, on a failed
+  audit, quarantines the engine and **degrades gracefully** — rebuilding
+  from the graph mirror via the registry so queries keep answering
+  within the ``(2+ε)`` guarantee (exact static recompute as last
+  resort);
 - answers coreness / core-membership / core-subgraph queries against the
   *current* state, or against a :class:`ServiceSnapshot` so reads can
   proceed consistently while later batches apply (the asynchronous-reads
   model of Liu–Shun–Zablotchi);
 - emits per-batch :class:`BatchTelemetry` — metered work/depth, wall
-  time, and the simulated parallel running time ``T_p`` under
-  :class:`~repro.parallel.scheduler.BrentScheduler`.
+  time, the simulated parallel running time ``T_p`` under
+  :class:`~repro.parallel.scheduler.BrentScheduler`, and the
+  transaction outcome (``attempts``, ``rolled_back``, ``degraded``).
 
 Example
 -------
@@ -28,8 +40,8 @@ Example
 ...     EdgeUpdate(0, 1, True), EdgeUpdate(1, 2, True),
 ...     EdgeUpdate(0, 2, True), EdgeUpdate(0, 2, True),  # duplicate: dropped
 ... ])
->>> (t.insertions, svc.coreness(0) >= 1.0)
-(3, True)
+>>> (t.insertions, t.attempts, svc.coreness(0) >= 1.0)
+(3, 1, True)
 """
 
 from __future__ import annotations
@@ -38,9 +50,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from .. import faults as _faults
+from ..core.invariants import plds_invariant_violations, structure_matches_edges
 from ..core.plds import PLDS
+from ..faults import InjectedFault
 from ..graphs.dynamic_graph import DynamicGraph
-from ..graphs.streams import Batch, EdgeUpdate, preprocess_batch
+from ..graphs.streams import (
+    Batch,
+    EdgeUpdate,
+    UpdateJournal,
+    preprocess_batch,
+    validate_vertex_ids,
+)
 from ..parallel.engine import Cost
 from ..parallel.scheduler import BrentScheduler
 from ..registry import (
@@ -48,18 +69,93 @@ from ..registry import (
     algorithm_spec,
     make_adapter,
     make_application,
+    rebuild_adapter,
 )
 
-__all__ = ["BatchTelemetry", "ServiceSnapshot", "CoreService"]
+__all__ = [
+    "AuditPolicy",
+    "BatchTelemetry",
+    "CoreService",
+    "RetryPolicy",
+    "ServiceSnapshot",
+]
+
+#: Registry key of the degradation ladder's last rung: exact static
+#: recompute per batch — always correct, hence trivially within (2+ε).
+_LAST_RESORT = "exactkcore"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`CoreService.apply_batch` reacts to a failed attempt.
+
+    Only *transient* failures are worth retrying — by default exactly
+    :class:`~repro.faults.InjectedFault` (the substrate's model of a
+    crash that will not recur); deterministic errors such as a
+    ``ValueError`` from batch validation re-raise immediately after
+    rollback.  Backoff is deterministic and **metered as depth** on the
+    engine's tracker (attempt ``k`` waits ``backoff_depth * 2^(k-1)``
+    depth units), never a wall-clock sleep, so recovery cost shows up in
+    the same simulated-time currency as everything else.
+    """
+
+    max_attempts: int = 3
+    backoff_depth: int = 8
+    retry_on: tuple[type[BaseException], ...] = (InjectedFault,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_depth < 0:
+            raise ValueError("backoff_depth must be >= 0")
+
+    def backoff_for(self, failed_attempts: int) -> int:
+        """Depth units charged before retry number ``failed_attempts + 1``."""
+        return self.backoff_depth * (2 ** (failed_attempts - 1))
+
+
+@dataclass(frozen=True)
+class AuditPolicy:
+    """When the service audits its engine against the graph mirror.
+
+    - ``"never"``: no auditing (zero overhead);
+    - ``"on-recovery"`` (the default): audit only after a batch that
+      needed a rollback — zero overhead on the happy path, a structural
+      check exactly where corruption is most likely;
+    - ``"every"``: audit every ``every_n``-th batch.
+    """
+
+    mode: str = "on-recovery"
+    every_n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("never", "every", "on-recovery"):
+            raise ValueError(
+                "audit mode must be 'never', 'every', or 'on-recovery'"
+            )
+        if self.every_n < 1:
+            raise ValueError("every_n must be >= 1")
+
+    def due(self, batch_id: int, recovered: bool) -> bool:
+        """Is an audit due after serving batch ``batch_id``?"""
+        if self.mode == "never":
+            return False
+        if self.mode == "on-recovery":
+            return recovered
+        return batch_id % self.every_n == 0
 
 
 @dataclass(frozen=True)
 class BatchTelemetry:
-    """Cost of serving one batch.
+    """Cost and transaction outcome of serving one batch.
 
     ``t_p`` is the simulated parallel running time at the service's
     thread count (Brent's bound, ``W/p + D``); sequential engines are
-    always charged at ``p = 1``.
+    always charged at ``p = 1``.  ``attempts`` counts apply attempts
+    (1 = clean first try); ``rolled_back`` is ``True`` when at least one
+    attempt failed and the engine was restored to its pre-batch state;
+    ``degraded`` is ``True`` when this batch's audit failed and the
+    service switched to a rebuilt (possibly exact-static) engine.
     """
 
     batch_id: int
@@ -70,6 +166,9 @@ class BatchTelemetry:
     wall_seconds: float
     threads: int
     t_p: float
+    attempts: int = 1
+    rolled_back: bool = False
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -125,6 +224,20 @@ class CoreService:
         Optional :mod:`repro.registry` application key ("matching",
         "cliques", ...).  The hosted app is exposed as
         :attr:`application`; coreness queries read the driver's PLDS.
+    retry:
+        The :class:`RetryPolicy` for failed apply attempts.
+    audit:
+        The :class:`AuditPolicy` scheduling invariant audits.
+    transactional:
+        When ``True`` (default), every batch is journaled write-ahead
+        and any mid-apply exception rolls the engine back to its exact
+        pre-batch state.  Snapshot-capable engines (the PLDS family)
+        restore bit-identically from a pre-batch structural snapshot;
+        other engines — and hosted applications — are rebuilt by
+        replaying the untouched graph mirror (valid, though for
+        path-dependent approximate engines not bit-identical).  ``False``
+        restores the pre-PR fail-fast behavior: exceptions propagate and
+        the engine is left as the failure left it.
     **engine_kwargs:
         Forwarded to :func:`repro.registry.make_adapter` (``delta``,
         ``lam``, ...) or to the application factory.
@@ -138,6 +251,9 @@ class CoreService:
         threads: int = 60,
         scheduler: BrentScheduler | None = None,
         application: str | None = None,
+        retry: RetryPolicy | None = None,
+        audit: AuditPolicy | None = None,
+        transactional: bool = True,
         **engine_kwargs: Any,
     ) -> None:
         if threads < 1:
@@ -146,13 +262,24 @@ class CoreService:
         self.threads = threads
         self.scheduler = scheduler if scheduler is not None else BrentScheduler()
         self.application_key = application
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.audit_policy = audit if audit is not None else AuditPolicy()
+        self.transactional = transactional
         self._engine_kwargs = dict(engine_kwargs)
         self.telemetry: list[BatchTelemetry] = []
+        self.journal = UpdateJournal()
         self.batches_applied = 0
         self._snapshot_counter = 0
         self._graph = DynamicGraph()
         self._driver = None
         self.application = None
+        #: the engine (or driver) impounded by the last failed audit.
+        self.quarantined: Any = None
+        #: audit-failure reports, one tuple of violations per degradation.
+        self.audit_failures: list[tuple[str, ...]] = []
+        self.degraded = False
+        #: registry key the service degraded to (None while healthy).
+        self.degraded_to: str | None = None
         if application is not None:
             self.algorithm = "plds"
             self._driver, self.application = make_application(
@@ -198,13 +325,54 @@ class CoreService:
         return self.apply_batch(preprocess_batch(self._graph, updates))
 
     def apply_batch(self, batch: Batch) -> BatchTelemetry:
-        """Apply one batch of *unique, valid* updates; record telemetry."""
-        before = self._adapter.cost
+        """Apply one batch of *unique, valid* updates, transactionally.
+
+        The batch is journaled write-ahead, then applied under the
+        service's :class:`RetryPolicy`: a failed attempt rolls the
+        engine back to its exact pre-batch state, charges the metered
+        backoff, and retries (transient faults only); exhausted or
+        non-transient failures re-raise with the journal record aborted
+        and the service still serving the pre-batch state.  After a
+        commit, the :class:`AuditPolicy` may trigger an invariant audit
+        and — on failure — graceful degradation (see :meth:`audit`).
+
+        Telemetry covers the successful attempt (plus backoff depth);
+        rolled-back attempts' metering is discarded with their state.
+        """
+        validate_vertex_ids(batch)
+        record = self.journal.begin(batch)
+        restore_point = self._restore_point() if self.transactional else None
+        attempts = 0
+        rolled_back = False
         t0 = time.perf_counter()
-        if self._driver is not None:
-            self._driver.update(batch)
-        else:
-            self._adapter.update(batch)
+        before = self._adapter.cost
+        while True:
+            attempts += 1
+            try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.hit("service.apply")
+                if self._driver is not None:
+                    self._driver.update(batch)
+                else:
+                    self._adapter.update(batch)
+                break
+            except Exception as exc:
+                if not self.transactional:
+                    self.journal.abort(record)
+                    raise
+                self._restore_engine(
+                    tuple(sorted(self._graph.edges())), restore_point
+                )
+                rolled_back = True
+                before = self._adapter.cost
+                if attempts >= self.retry.max_attempts or not isinstance(
+                    exc, self.retry.retry_on
+                ):
+                    self.journal.abort(record)
+                    raise
+                backoff = self.retry.backoff_for(attempts)
+                if backoff:
+                    self._tracker().add(work=0, depth=backoff)
         wall = time.perf_counter() - t0
         # Mirror only after the engine accepted the batch, so a rejected
         # (invalid) batch leaves service state untouched.
@@ -212,9 +380,16 @@ class CoreService:
             self._graph.insert_edge(u, v)
         for u, v in batch.deletions:
             self._graph.delete_edge(u, v)
+        self.journal.commit(record)
         after = self._adapter.cost
         delta = Cost(after.work - before.work, after.depth - before.depth)
         self.batches_applied += 1
+        degraded = False
+        if self.audit_policy.due(self.batches_applied, rolled_back):
+            problems = self.audit()
+            if problems:
+                self._degrade(problems)
+                degraded = True
         entry = BatchTelemetry(
             batch_id=self.batches_applied,
             insertions=len(batch.insertions),
@@ -226,9 +401,95 @@ class CoreService:
             t_p=self.scheduler.time(
                 delta, self.threads if self.spec.parallel else 1
             ),
+            attempts=attempts,
+            rolled_back=rolled_back,
+            degraded=degraded,
         )
         self.telemetry.append(entry)
         return entry
+
+    def _tracker(self):
+        impl = self._driver.plds if self._driver is not None else self._adapter.impl
+        return impl.tracker
+
+    def _restore_point(self) -> dict | None:
+        """Pre-batch rollback state: an exact structural snapshot for
+        snapshot-capable engines, ``None`` for everything rebuilt by
+        replaying the (still pre-batch) graph mirror."""
+        if self._driver is None and self.spec.snapshot:
+            return self._adapter.impl.to_snapshot()
+        return None
+
+    # -- auditing and graceful degradation -------------------------------
+
+    def audit(self) -> list[str]:
+        """Audit the live engine against the graph mirror.
+
+        For the PLDS family (including the sequential LDS) this runs the
+        full structural check: Invariants 1–2 and U/L bookkeeping
+        (:func:`~repro.core.invariants.plds_invariant_violations`) plus
+        edge-set agreement with the mirror
+        (:func:`~repro.core.invariants.structure_matches_edges`).
+        Engines without a checkable level structure audit vacuously.
+        Returns human-readable violations; empty list means healthy.
+        """
+        impl = self._driver.plds if self._driver is not None else self._adapter.impl
+        return self._audit_impl(impl)
+
+    def _audit_impl(self, impl: Any) -> list[str]:
+        if isinstance(impl, PLDS):
+            problems = list(plds_invariant_violations(impl))
+            problems.extend(
+                structure_matches_edges(impl, set(self._graph.edges()))
+            )
+            return problems
+        return []
+
+    def _degrade(self, problems: Sequence[str]) -> None:
+        """Quarantine the failed engine and walk the degradation ladder.
+
+        Rung 1 rebuilds the *same* algorithm from the graph mirror via
+        the registry (:func:`repro.registry.rebuild_adapter`); if the
+        rebuild itself fails its audit, rung 2 swaps in the exact
+        static-recompute engine (``exactkcore``) — slower, but its
+        answers are exact, hence trivially within the ``(2+ε)`` bound.
+        Hosted applications degrade by rebuilding driver + application
+        from the mirror; if even that audits dirty, the application is
+        dropped and coreness serving falls through to rung 2.
+        """
+        self.audit_failures.append(tuple(problems))
+        edges = sorted(self._graph.edges())
+        if self._driver is not None:
+            self.quarantined = self._driver
+            self._restore_engine(edges, None)
+            if not self.audit():
+                self.degraded = True
+                self.degraded_to = self.algorithm
+                return
+        else:
+            self.quarantined = self._adapter
+            try:
+                candidate = rebuild_adapter(
+                    self.algorithm, self.n_hint, edges, **self._engine_kwargs
+                )
+            except Exception:
+                candidate = None
+            if candidate is not None and not self._audit_impl(candidate.impl):
+                self._adapter = candidate
+                self.degraded = True
+                self.degraded_to = self.algorithm
+                return
+        # Last resort: exact static recompute from the mirror.  Dropping
+        # a hosted application here is deliberate — coreness queries keep
+        # answering (exactly) even when the framework layer is beyond
+        # repair.
+        self._adapter = rebuild_adapter(_LAST_RESORT, self.n_hint, edges)
+        self._driver = None
+        self.application = None
+        self.algorithm = _LAST_RESORT
+        self.spec = algorithm_spec(_LAST_RESORT)
+        self.degraded = True
+        self.degraded_to = _LAST_RESORT
 
     # -- queries ---------------------------------------------------------
 
@@ -293,15 +554,31 @@ class CoreService:
         Snapshot-capable engines (PLDS family) are rebuilt bit-exactly
         from their structural snapshot; everything else — including
         hosted applications — is rebuilt by replaying the snapshotted
-        edge set as one insertion batch.  Telemetry is an append-only
-        log and is kept; :attr:`batches_applied` rewinds.
+        edge set as one insertion batch.  Telemetry and the journal are
+        append-only logs and are kept; :attr:`batches_applied` rewinds.
         """
         if snapshot.algorithm != self.algorithm:
             raise ValueError(
                 f"snapshot was taken from {snapshot.algorithm!r}, "
                 f"this service runs {self.algorithm!r}"
             )
-        edges: Sequence[tuple[int, int]] = snapshot.edges
+        self._restore_engine(snapshot.edges, snapshot.engine_state)
+        self._graph = DynamicGraph(snapshot.edges)
+        self.batches_applied = snapshot.batches_applied
+
+    def _restore_engine(
+        self,
+        edges: Sequence[tuple[int, int]],
+        engine_state: dict | None,
+    ) -> None:
+        """Put the engine into the state described by (edges, engine_state).
+
+        Shared by :meth:`restore` (rewind to a snapshot) and the
+        transactional rollback path (restore to the pre-batch state,
+        whose edge set the not-yet-mirrored graph still holds).  The
+        engine's tracker is carried over on the exact-snapshot path so
+        metering stays monotone across rollbacks.
+        """
         if self._driver is not None:
             assert self.application_key is not None
             self._driver, self.application = make_application(
@@ -312,11 +589,13 @@ class CoreService:
             )
             if edges:
                 self._driver.update(Batch(insertions=list(edges)))
-        elif snapshot.engine_state is not None:
+        elif engine_state is not None:
             impl_cls = type(self._adapter.impl)
             self._adapter = DynamicKCoreAdapter(
                 self.algorithm,
-                impl_cls.from_snapshot(snapshot.engine_state),
+                impl_cls.from_snapshot(
+                    engine_state, tracker=self._adapter.impl.tracker
+                ),
                 self.spec.exact,
             )
         else:
@@ -324,8 +603,28 @@ class CoreService:
                 self.algorithm, self.n_hint, **self._engine_kwargs
             )
             self._adapter.initialize(list(edges))
-        self._graph = DynamicGraph(edges)
-        self.batches_applied = snapshot.batches_applied
+
+    # -- crash recovery --------------------------------------------------
+
+    @classmethod
+    def from_journal(
+        cls,
+        journal: UpdateJournal,
+        algorithm: str = "pldsopt",
+        **kwargs: Any,
+    ) -> "CoreService":
+        """Rebuild a service by replaying a journal's committed batches.
+
+        The crash-recovery path: a process that persisted its write-ahead
+        journal (:meth:`UpdateJournal.dump`) reconstructs the exact
+        batch sequence — for deterministic engines the replayed service
+        is bit-identical to the crashed one.  Pending and aborted records
+        are skipped, matching their transaction semantics.
+        """
+        service = cls(algorithm, **kwargs)
+        for batch in journal.committed_batches():
+            service.apply_batch(batch)
+        return service
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         host = (
@@ -333,7 +632,8 @@ class CoreService:
             if self.application_key
             else f"algorithm={self.algorithm!r}"
         )
+        flags = ", DEGRADED" if self.degraded else ""
         return (
             f"CoreService({host}, n={self.num_vertices}, m={self.num_edges}, "
-            f"batches={self.batches_applied})"
+            f"batches={self.batches_applied}{flags})"
         )

@@ -7,10 +7,18 @@ import doctest
 import pytest
 
 import repro
+import repro.faults
 import repro.framework
 import repro.parallel.engine
+import repro.service.core
 
-MODULES = [repro, repro.framework, repro.parallel.engine]
+MODULES = [
+    repro,
+    repro.faults,
+    repro.framework,
+    repro.parallel.engine,
+    repro.service.core,
+]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
