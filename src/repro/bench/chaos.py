@@ -33,6 +33,8 @@ from typing import Sequence
 from .. import faults
 from ..graphs.generators import barabasi_albert
 from ..graphs.streams import Batch, deletion_batches, insertion_batches
+from ..obs.metrics import MetricsRegistry, collecting
+from ..obs.tracing import Tracer, tracing
 from ..service import AuditPolicy, CoreService, RetryPolicy
 
 __all__ = [
@@ -56,6 +58,10 @@ class ChaosTrial:
     total_attempts: int
     degraded: bool
     error: str | None = None
+    #: :meth:`BatchTelemetry.to_dict` rows for the batches that rolled
+    #: back or degraded during this trial — the recovery story, serialized
+    #: through the one telemetry path.
+    recovery_telemetry: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -74,6 +80,7 @@ class ChaosTrial:
             "degraded": self.degraded,
             "error": self.error,
             "ok": self.ok,
+            "recovery_telemetry": list(self.recovery_telemetry),
         }
 
 
@@ -89,13 +96,19 @@ class ChaosReport:
     batches: int
     census: dict[str, int] = field(repr=False)
     trials: tuple[ChaosTrial, ...] = field(repr=False, default=())
+    #: baseline run's span forest (``Span.to_dict`` trees) when the
+    #: experiment ran with tracing on; empty otherwise.
+    trace: tuple[dict, ...] = field(repr=False, default=())
+    #: metrics-registry JSON dump covering the whole experiment (baseline
+    #: plus every trial) when tracing was on; ``None`` otherwise.
+    metrics: dict | None = field(repr=False, default=None)
 
     @property
     def ok(self) -> bool:
         return bool(self.trials) and all(t.ok for t in self.trials)
 
     def to_json_dict(self) -> dict:
-        return {
+        data = {
             "format": 1,
             "algorithm": self.algorithm,
             "vertices": self.vertices,
@@ -107,6 +120,11 @@ class ChaosReport:
             "trials": [t.to_json_dict() for t in self.trials],
             "ok": self.ok,
         }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
 
 def chaos_workload(
@@ -161,11 +179,18 @@ def run_chaos(
     trials: int = 8,
     seed: int = 0,
     delete_fraction: float = 0.5,
+    trace: bool = False,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring for the design.
 
     Raises ``ValueError`` if the workload leaves *no* fault site
     reachable (that would make every trial vacuous, not a pass).
+
+    With ``trace`` on, the baseline run executes under a tracer (its span
+    forest lands in :attr:`ChaosReport.trace`) and the whole experiment —
+    baseline plus trials — under one metrics registry
+    (:attr:`ChaosReport.metrics`), so faultpoint fires and service
+    retries/rollbacks are visible in the report.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -173,7 +198,16 @@ def run_chaos(
         vertices, batch_size, seed, delete_fraction=delete_fraction
     )
     n_hint = vertices + 1
-    baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
+
+    registry = MetricsRegistry() if trace else None
+    trace_dicts: tuple[dict, ...] = ()
+    if trace:
+        tracer = Tracer()
+        with collecting(registry), tracing(tracer):
+            baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
+        trace_dicts = tuple(s.to_dict() for s in tracer.roots)
+    else:
+        baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
 
     census = faults.recording_plan()
     _serve(batches, algorithm, n_hint, census)
@@ -187,7 +221,11 @@ def run_chaos(
         error: str | None = None
         service: CoreService | None = None
         try:
-            service = _serve(batches, algorithm, n_hint, plan)
+            if registry is not None:
+                with collecting(registry):
+                    service = _serve(batches, algorithm, n_hint, plan)
+            else:
+                service = _serve(batches, algorithm, n_hint, plan)
         except Exception as exc:  # recovery failed: the finding we hunt
             error = f"{type(exc).__name__}: {exc}"
         results.append(
@@ -212,6 +250,11 @@ def run_chaos(
                 ),
                 degraded=service.degraded if service is not None else False,
                 error=error,
+                recovery_telemetry=tuple(
+                    t.to_dict()
+                    for t in (service.telemetry if service is not None else ())
+                    if t.rolled_back or t.degraded
+                ),
             )
         )
     return ChaosReport(
@@ -223,4 +266,6 @@ def run_chaos(
         batches=len(batches),
         census=dict(census.counts),
         trials=tuple(results),
+        trace=trace_dicts,
+        metrics=registry.to_json_dict() if registry is not None else None,
     )

@@ -43,6 +43,7 @@ from ..graphs.streams import (
     insertion_batches,
     mixed_batch,
 )
+from ..obs import tracing as _tracing
 from ..parallel.engine import Cost
 from ..registry import (
     DynamicKCoreAdapter,
@@ -180,10 +181,17 @@ def run_protocol(
     # (the paper averages errors over the deletion batches).
     halfway = max(1, len(batches) // 2)
     halfway_estimates: dict[int, float] | None = None
+    tracer = _tracing.ACTIVE
     for i, batch in enumerate(batches):
         before = adapter.cost
         t0 = time.perf_counter()
-        adapter.update(batch)
+        if tracer is None:
+            adapter.update(batch)
+        else:
+            with tracer.span(
+                "harness.batch", adapter.tracker, index=i, size=len(batch)
+            ):
+                adapter.update(batch)
         wall = time.perf_counter() - t0
         delta_cost = Cost(
             adapter.cost.work - before.work, adapter.cost.depth - before.depth

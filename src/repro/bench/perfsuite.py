@@ -47,6 +47,7 @@ from typing import Callable, Sequence
 
 from ..graphs.generators import barabasi_albert, grid_2d
 from ..graphs.streams import deletion_batches, insertion_batches, mixed_batch
+from ..obs.tracing import Tracer, phase_totals, tracing
 from ..registry import algorithm_spec, make_adapter
 
 __all__ = [
@@ -82,7 +83,15 @@ _STREAM_SEED = 7
 
 @dataclass(frozen=True)
 class PerfEntry:
-    """One (workload, algorithm) measurement."""
+    """One (workload, algorithm) measurement.
+
+    ``phases`` is the optional per-phase attribution table
+    (:func:`repro.obs.tracing.phase_totals`) recorded when the suite runs
+    with tracing on (``repro bench --trace``), so a regression can name
+    the offending phase.  It defaults to ``None`` — baseline files
+    written before the field existed load unchanged, and the regression
+    gate never compares it.
+    """
 
     workload: str
     algo: str
@@ -90,6 +99,7 @@ class PerfEntry:
     work: int
     depth: int
     space: int
+    phases: dict | None = None
 
 
 @dataclass
@@ -108,11 +118,18 @@ class BenchReport:
         return None
 
     def to_json_dict(self) -> dict:
+        entries = []
+        for e in self.entries:
+            d = asdict(e)
+            if d["phases"] is None:
+                # Untraced entries keep the original on-disk schema.
+                del d["phases"]
+            entries.append(d)
         return {
             "format": self.format,
             "label": self.label,
             "scale": self.scale,
-            "entries": [asdict(e) for e in self.entries],
+            "entries": entries,
         }
 
     @classmethod
@@ -137,9 +154,15 @@ def _edges_for(family: str, scale: float) -> list[tuple[int, int]]:
 
 
 def _run_workload(
-    workload: str, algo: str, scale: float
-) -> tuple[float, int, int, int]:
-    """Apply one workload end to end; return (wall_s, work, depth, space)."""
+    workload: str, algo: str, scale: float, trace: bool = False
+) -> tuple[float, int, int, int, dict | None]:
+    """Apply one workload end to end.
+
+    Returns ``(wall_s, work, depth, space, phases)``; ``phases`` is the
+    span-tree phase attribution when ``trace`` is on, else ``None``.
+    Tracing adds per-phase bookkeeping inside the timed region, so traced
+    wall numbers should only be compared against traced baselines.
+    """
     family, protocol = workload.rsplit("-", 1)
     edges = _edges_for(family, scale)
     n_hint = max((max(e) for e in edges), default=1) + 1
@@ -163,18 +186,30 @@ def _run_workload(
     gc.collect()
     gc_was_enabled = gc.isenabled()
     gc.disable()
+    phases: dict | None = None
     try:
-        t0 = time.perf_counter()
-        if initial:
-            adapter.initialize(initial)
-        for b in batches:
-            adapter.update(b)
-        wall = time.perf_counter() - t0
+        if trace:
+            tracer = Tracer()
+            with tracing(tracer):
+                t0 = time.perf_counter()
+                if initial:
+                    adapter.initialize(initial)
+                for b in batches:
+                    adapter.update(b)
+                wall = time.perf_counter() - t0
+            phases = phase_totals(tracer.roots)
+        else:
+            t0 = time.perf_counter()
+            if initial:
+                adapter.initialize(initial)
+            for b in batches:
+                adapter.update(b)
+            wall = time.perf_counter() - t0
     finally:
         if gc_was_enabled:
             gc.enable()
     cost = adapter.cost
-    return wall, cost.work, cost.depth, adapter.space_bytes()
+    return wall, cost.work, cost.depth, adapter.space_bytes(), phases
 
 
 def run_suite(
@@ -183,13 +218,15 @@ def run_suite(
     workloads: Sequence[str] = WORKLOADS,
     repeats: int = 1,
     progress: Callable[[str], None] | None = None,
+    trace: bool = False,
 ) -> list[PerfEntry]:
     """Run every (workload, algo) pair; wall time is the best of ``repeats``.
 
     "Best of" (rather than mean) is the standard noise-rejection choice
     for regression gating: the minimum is the least-interfered-with run.
     Work/depth/space are identical across repeats (the substrate is
-    deterministic), so they are taken from the last run.
+    deterministic), so they are taken from the last run.  With ``trace``
+    on, each entry additionally carries its per-phase attribution table.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -200,8 +237,11 @@ def run_suite(
         for algo in algos:
             best = math.inf
             work = depth = space = 0
+            phases: dict | None = None
             for _ in range(repeats):
-                wall, work, depth, space = _run_workload(workload, algo, scale)
+                wall, work, depth, space, phases = _run_workload(
+                    workload, algo, scale, trace=trace
+                )
                 best = min(best, wall)
             entries.append(
                 PerfEntry(
@@ -211,6 +251,7 @@ def run_suite(
                     work=work,
                     depth=depth,
                     space=space,
+                    phases=phases,
                 )
             )
             if progress is not None:

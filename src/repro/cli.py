@@ -21,6 +21,14 @@ Commands
     Perf-regression suite: time the canonical workloads and write a
     ``BENCH_<label>.json`` trajectory point, optionally comparing
     against a previous one.
+``trace``
+    Run a small serving workload under the span tracer and export the
+    span forest (Chrome ``trace_event`` or JSONL), printing the
+    per-phase work/depth attribution table and checking that span
+    costs reconcile exactly against the batch telemetry.
+``metrics``
+    Run the same workload under a metrics registry and dump every
+    counter/gauge/histogram in Prometheus text or JSON form.
 
 All algorithm dispatch resolves through :mod:`repro.registry`.
 
@@ -328,6 +336,7 @@ def cmd_bench(args) -> int:
         workloads=workloads,
         repeats=args.repeats,
         progress=lambda line: print(f"  {line}"),
+        trace=args.trace,
     )
     report = BenchReport(label=args.label, scale=args.scale, entries=entries)
     out_path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
@@ -352,6 +361,18 @@ def cmd_bench(args) -> int:
             f"{c.baseline:.3f} -> {c.current:.3f} "
             f"(+{(c.ratio - 1) * 100:.0f}% > {args.tolerance * 100:.0f}% tolerance)"
         )
+        cur = report.entry(c.workload, c.algo)
+        if cur is not None and cur.phases:
+            # Name the offending phases: top inclusive-work spans of the
+            # regressed cell's traced run.
+            top = sorted(
+                cur.phases.items(), key=lambda kv: -kv[1]["work"]
+            )[:3]
+            for name, t in top:
+                print(
+                    f"             phase {name}: work={t['work']} "
+                    f"depth={t['depth']} wall={t['wall_s'] * 1e3:.2f}ms"
+                )
     if cmp.missing or not cmp.ok:
         print("perf regression check: FAIL")
         return 1
@@ -371,6 +392,7 @@ def cmd_chaos(args) -> int:
         trials=args.trials,
         seed=args.seed,
         delete_fraction=args.delete_fraction,
+        trace=args.trace,
     )
     print(
         f"chaos: algorithm={report.algorithm} vertices={report.vertices} "
@@ -396,6 +418,93 @@ def cmd_chaos(args) -> int:
     ok = report.ok
     print(f"chaos recovery check: {'OK' if ok else 'FAIL'}")
     return 0 if ok else 1
+
+
+def _obs_workload(args):
+    """The shared trace/metrics workload: mixed insert+delete power-law."""
+    from .bench.chaos import chaos_workload
+
+    return chaos_workload(
+        args.vertices,
+        args.batch_size or 50,
+        args.seed,
+        delete_fraction=args.delete_fraction,
+    )
+
+
+def cmd_trace(args) -> int:
+    from .obs.export import write_chrome_trace, write_jsonl
+    from .obs.tracing import Tracer, iter_spans, phase_totals, tracing
+    from .service import CoreService
+
+    batches = _obs_workload(args)
+    svc = CoreService(args.algorithm, n_hint=args.vertices + 1)
+    tracer = Tracer()
+    with tracing(tracer):
+        for b in batches:
+            svc.apply_batch(b)
+    roots = tracer.roots
+    n_spans = sum(1 for _ in iter_spans(roots))
+    print(
+        f"trace: algorithm={args.algorithm} vertices={args.vertices} "
+        f"batches={len(batches)} spans={n_spans}"
+    )
+    print(f"  {'phase':18s} {'count':>6s} {'work':>12s} {'depth':>10s} "
+          f"{'wall ms':>9s}")
+    totals = phase_totals(roots)
+    for name in sorted(totals, key=lambda n: -totals[n]["work"]):
+        t = totals[name]
+        print(
+            f"  {name:18s} {t['count']:6d} {t['work']:12d} {t['depth']:10d} "
+            f"{t['wall_s'] * 1e3:9.2f}"
+        )
+    # Reconciliation: summed service.batch span deltas must equal the
+    # summed batch telemetry with exact integer equality (fault-free run).
+    span_work = sum(s.work for s in roots if s.name == "service.batch")
+    span_depth = sum(s.depth for s in roots if s.name == "service.batch")
+    tel_work = sum(t.work for t in svc.telemetry)
+    tel_depth = sum(t.depth for t in svc.telemetry)
+    ok = span_work == tel_work and span_depth == tel_depth
+    print(
+        f"  reconciliation    : spans ({span_work}, {span_depth}) vs "
+        f"telemetry ({tel_work}, {tel_depth}) -> "
+        f"{'OK' if ok else 'MISMATCH'}"
+    )
+    if args.format == "chrome":
+        write_chrome_trace(args.output, roots)
+    else:
+        write_jsonl(args.output, roots)
+    print(f"wrote {args.output} ({args.format})")
+    return 0 if ok else 1
+
+
+def cmd_metrics(args) -> int:
+    from .obs.metrics import (
+        MetricsRegistry,
+        collecting,
+        metrics_json,
+        record_level_structure,
+    )
+    from .service import CoreService
+
+    batches = _obs_workload(args)
+    svc = CoreService(args.algorithm, n_hint=args.vertices + 1)
+    registry = MetricsRegistry()
+    with collecting(registry):
+        for b in batches:
+            svc.apply_batch(b)
+    record_level_structure(registry, svc.engine)
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        text = metrics_json(registry) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({args.format})")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -489,6 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of edges deleted after insertion")
     p.add_argument("--json", default=None,
                    help="also write the full report as JSON to this path")
+    p.add_argument("--trace", action="store_true",
+                   help="attach the baseline span forest and a metrics dump "
+                        "to the JSON report")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -510,25 +622,84 @@ def build_parser() -> argparse.ArgumentParser:
                    help="previous BENCH json to compare against")
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed relative growth before a metric regresses")
+    p.add_argument("--trace", action="store_true",
+                   help="record per-phase attribution on every entry "
+                        "(adds tracing overhead inside the timed region)")
     p.set_defaults(fn=cmd_bench)
 
+    def add_obs_workload(p):
+        p.add_argument("--algorithm", choices=algorithm_keys(dynamic=True),
+                       default="pldsopt")
+        p.add_argument("--vertices", type=int, default=200,
+                       help="power-law workload size (Barabási–Albert)")
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="updates per batch (default: 50)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--delete-fraction", type=float, default=0.5,
+                       help="fraction of edges deleted after insertion")
+
+    p = sub.add_parser(
+        "trace",
+        help="trace a serving workload and export the span forest",
+    )
+    add_obs_workload(p)
+    p.add_argument("--output", default="repro.trace.json",
+                   help="export path (default: repro.trace.json)")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                   help="chrome: trace_event JSON for chrome://tracing / "
+                        "Perfetto; jsonl: one span record per line")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a serving workload and dump the metrics registry",
+    )
+    add_obs_workload(p)
+    p.add_argument("--format", choices=("prom", "json"), default="prom",
+                   help="prom: Prometheus text exposition; json: registry dump")
+    p.add_argument("--output", default=None,
+                   help="write here instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
+
     return parser
+
+
+def _error_site(exc: BaseException) -> str:
+    """``" (file.py:123)"`` for the deepest repro frame of ``exc``, or ``""``.
+
+    Points the one-line CLI error at the raising site inside this package
+    without printing a traceback; frames from the standard library (e.g.
+    ``json``) are skipped so the location stays actionable.
+    """
+    site = ""
+    tb = exc.__traceback__
+    while tb is not None:
+        filename = tb.tb_frame.f_code.co_filename
+        parts = filename.replace("\\", "/").split("/")
+        if "repro" in parts:
+            site = f" ({parts[-1]}:{tb.tb_lineno})"
+        tb = tb.tb_next
+    return site
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        # Never swallow Ctrl-C into a generic error: conventional 128+SIGINT.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:  # output piped into e.g. `head`
         return 0
     except (ValueError, KeyError) as exc:
         # Malformed input files, unknown registry keys, bad parameter
         # combinations: one actionable line, not a traceback.
         detail = exc.args[0] if exc.args else exc
-        print(f"repro: error: {detail}", file=sys.stderr)
+        print(f"repro: error: {detail}{_error_site(exc)}", file=sys.stderr)
         return 2
     except OSError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
+        print(f"repro: error: {exc}{_error_site(exc)}", file=sys.stderr)
         return 2
 
 

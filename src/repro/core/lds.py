@@ -19,6 +19,7 @@ depth equals the work.
 from __future__ import annotations
 
 from ..graphs.streams import Batch
+from ..obs import metrics as _metrics
 from .plds import PLDS, UpdateResult
 
 __all__ = ["LDS"]
@@ -31,7 +32,9 @@ class LDS(PLDS):
     one edge at a time (there is no intra-batch parallelism to exploit).
     """
 
-    def update(self, batch: Batch) -> UpdateResult:
+    _SPAN_NAME = "lds.update"
+
+    def _apply_batch(self, batch: Batch) -> UpdateResult:
         self._validate_batch(batch)
         result = UpdateResult()
         self._touched = set()
@@ -65,6 +68,7 @@ class LDS(PLDS):
     def _fix_insertion_cascade(self, seeds: set[int], moved: set[int]) -> None:
         tracker = self.tracker
         bounds = self._inv1_bound_int
+        mreg = _metrics.ACTIVE
         queue = set(seeds)
         while queue:
             v = queue.pop()
@@ -72,6 +76,8 @@ class LDS(PLDS):
             if rec is None:
                 continue
             while len(rec.up) > bounds[rec.level]:
+                if mreg is not None:
+                    mreg.inc("lds.cascade_moves", phase="insert")
                 before = tracker.work
                 marked = self._move_up(v)
                 # sequential: the move contributes its work to the depth too
@@ -90,6 +96,7 @@ class LDS(PLDS):
     def _fix_deletion_cascade(self, seeds: set[int], moved: set[int]) -> None:
         tracker = self.tracker
         thresholds = self._inv2_thresh_int
+        mreg = _metrics.ACTIVE
         queue = set(seeds)
         while queue:
             v = queue.pop()
@@ -102,6 +109,8 @@ class LDS(PLDS):
                 up_star = len(rec.up) + (len(below) if below else 0)
                 if up_star >= thresholds[rec.level]:
                     break
+                if mreg is not None:
+                    mreg.inc("lds.cascade_moves", phase="delete")
                 before = tracker.work
                 weakened = self._move_down(v, rec.level - 1)
                 tracker.add(work=0, depth=tracker.work - before)

@@ -46,6 +46,8 @@ from typing import Iterable, Iterator
 
 from .. import faults as _faults
 from ..graphs.dynamic_graph import canonical_edge
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..graphs.streams import Batch
 from ..parallel.engine import WorkDepthTracker
 from ..parallel.hashtable import LOG_STAR_DEPTH
@@ -475,6 +477,9 @@ class PLDS:
     # Algorithm 1: Update
     # ------------------------------------------------------------------
 
+    #: Span name of :meth:`update`; subclasses override (``lds.update``).
+    _SPAN_NAME = "plds.update"
+
     def update(self, batch: Batch) -> UpdateResult:
         """Apply a batch of unique, valid edge updates (Algorithm 1).
 
@@ -488,6 +493,18 @@ class PLDS:
         :func:`repro.graphs.streams.preprocess_batch` to clean raw
         streams.
         """
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            return self._apply_batch(batch)
+        with tracer.span(
+            self._SPAN_NAME,
+            self.tracker,
+            insertions=len(batch.insertions),
+            deletions=len(batch.deletions),
+        ):
+            return self._apply_batch(batch)
+
+    def _apply_batch(self, batch: Batch) -> UpdateResult:
         self._validate_batch(batch)
         result = UpdateResult()
         self._touched = set()
@@ -589,6 +606,8 @@ class PLDS:
         touched = self._touched
         mut_depth = self._mut_depth
         fault_plan = _faults.ACTIVE
+        tracer = _tracing.ACTIVE
+        mreg = _metrics.ACTIVE
 
         # Process levels bottom-up; Lemma 5.5 guarantees each level is
         # visited at most once (marks only propagate upward, so min(dirty)
@@ -598,6 +617,16 @@ class PLDS:
                 fault_plan.hit("plds.rise")
             level = min(dirty)
             candidates = dirty.pop(level)
+            span = (
+                tracer.begin(
+                    "plds.rise", tracker, level=level, queue=len(candidates)
+                )
+                if tracer is not None
+                else None
+            )
+            if mreg is not None:
+                mreg.inc("plds.rise_levels")
+                mreg.observe("plds.cascade_queue", len(candidates), phase="rise")
             tracker.add(work=1, depth=1)  # the level-loop iteration itself
             bound = bounds[level]
             if jump:
@@ -607,8 +636,13 @@ class PLDS:
                     if rec.level == level and len(rec.up) > bound
                 ]
                 if not movers:
+                    if span is not None:
+                        tracer.end(span)
                     continue
                 tracker.flat_parfor(sorted(movers), rise)
+                if span is not None:
+                    span.attrs["movers"] = len(movers)
+                    tracer.end(span)
                 continue
             # Levelwise fast path: :meth:`_move_up` inlined with aggregate
             # charging.  Each rise would charge (|U[v]| or 1, mut_depth)
@@ -735,6 +769,8 @@ class PLDS:
                     if len(up) > bound_t:
                         marked_append(rec)
             if not total_work:
+                if span is not None:
+                    tracer.end(span)
                 continue  # no mover survived the filter at this level
             tracker.add(total_work, mut_depth)
             if marked_next:
@@ -743,6 +779,8 @@ class PLDS:
                     dirty[target] = set(marked_next)
                 else:
                     bucket.update(marked_next)
+            if span is not None:
+                tracer.end(span)
 
     def _move_up(self, v: int) -> list["_VertexRecord"]:
         """Move ``v`` one level up (Algorithm 2's unit step).
@@ -960,17 +998,34 @@ class PLDS:
         # a changed value re-enqueues the vertex (desire-levels only
         # decrease during a deletion phase, so this terminates).
         fault_plan = _faults.ACTIVE
+        tracer = _tracing.ACTIVE
+        mreg = _metrics.ACTIVE
         while pending:
             if fault_plan is not None:
                 fault_plan.hit("plds.desaturate")
             level = min(pending)
+            bucket = pending.pop(level)
+            span = (
+                tracer.begin(
+                    "plds.desaturate", tracker, level=level, queue=len(bucket)
+                )
+                if tracer is not None
+                else None
+            )
+            if mreg is not None:
+                mreg.inc("plds.desaturate_levels")
+                mreg.observe(
+                    "plds.cascade_queue", len(bucket), phase="desaturate"
+                )
             movers = [
                 v
-                for v in pending.pop(level)
+                for v in bucket
                 if desire.get(v) == level and vertices[v].level > level
             ]
             tracker.add(work=1, depth=1)
             if not movers:
+                if span is not None:
+                    tracer.end(span)
                 continue
 
             def descend(v: int, level: int = level) -> None:
@@ -996,6 +1051,9 @@ class PLDS:
                     consider(w)
 
             tracker.flat_parfor(sorted(movers), descend)
+            if span is not None:
+                span.attrs["movers"] = len(movers)
+                tracer.end(span)
 
     def _move_down(self, v: int, new_level: int) -> list[int]:
         """Move ``v`` down to ``new_level``, updating affected structures.
@@ -1204,6 +1262,22 @@ class PLDS:
             and self._vertex_updates <= max(self.n_hint // 4, 8)
         ):
             return
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc("plds.rebuilds")
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            self._rebuild()
+            return
+        with tracer.span(
+            "plds.rebuild",
+            self.tracker,
+            vertices=len(self._vertices),
+            edges=self._m,
+        ):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
         edges = list(self.edges())
         vertices = list(self._vertices)
         # Resize to the live vertex count (growing or shrinking), so the

@@ -50,6 +50,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from .obs import metrics as _metrics
 from .parallel import engine as _engine
 
 __all__ = [
@@ -123,6 +124,9 @@ class FaultPlan:
         self.counts[site] = count
         if (site, count) in self._armed:
             self.fired.append(FaultPoint(site, count))
+            mreg = _metrics.ACTIVE
+            if mreg is not None:
+                mreg.inc("faults.fired", site=site)
             raise InjectedFault(f"injected fault at {site} (hit {count})")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

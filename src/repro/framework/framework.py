@@ -23,6 +23,7 @@ from typing import Iterable, Protocol
 
 from ..core.plds import PLDS, DirectedEdge, UpdateResult
 from ..graphs.streams import Batch, EdgeUpdate, preprocess_batch
+from ..obs import tracing as _tracing
 from ..parallel.engine import WorkDepthTracker
 
 __all__ = ["BatchDynamicApplication", "FrameworkDriver"]
@@ -81,14 +82,37 @@ class FrameworkDriver:
         batch_moved = getattr(self.app, "batch_moved", None)
         if batch_moved is not None:
             batch_moved(result.moved_vertices)
-        # Line 4: BatchFlips, then Line 5: BatchDelete, Line 6: BatchInsert.
-        self.app.batch_flips(
-            result.flipped,
-            result.oriented_insertions,
-            result.oriented_deletions,
-        )
-        self.app.batch_delete(result.oriented_deletions)
-        self.app.batch_insert(result.oriented_insertions)
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            # Line 4: BatchFlips, then Line 5: BatchDelete, Line 6: BatchInsert.
+            self.app.batch_flips(
+                result.flipped,
+                result.oriented_insertions,
+                result.oriented_deletions,
+            )
+            self.app.batch_delete(result.oriented_deletions)
+            self.app.batch_insert(result.oriented_insertions)
+            return result
+        with tracer.span(
+            "framework.flips", self.tracker, flips=len(result.flipped)
+        ):
+            self.app.batch_flips(
+                result.flipped,
+                result.oriented_insertions,
+                result.oriented_deletions,
+            )
+        with tracer.span(
+            "framework.delete",
+            self.tracker,
+            edges=len(result.oriented_deletions),
+        ):
+            self.app.batch_delete(result.oriented_deletions)
+        with tracer.span(
+            "framework.insert",
+            self.tracker,
+            edges=len(result.oriented_insertions),
+        ):
+            self.app.batch_insert(result.oriented_insertions)
         return result
 
     def update_raw(self, updates: Iterable[EdgeUpdate]) -> UpdateResult:

@@ -1,0 +1,50 @@
+"""Observability for the metered PLDS stack: tracing, metrics, exporters.
+
+Three leaf modules, all zero-overhead when not installed (module-global
+``ACTIVE`` check per instrumentation point, the :mod:`repro.faults`
+pattern):
+
+- :mod:`repro.obs.tracing` — hierarchical spans capturing metered
+  work/depth deltas plus wall time per phase.
+- :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with Prometheus-text and JSON dumps.
+- :mod:`repro.obs.export` — Chrome ``trace_event`` (Perfetto) and JSONL
+  span exporters.
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from . import export, metrics, tracing
+from .export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from .metrics import (
+    MetricsRegistry,
+    collecting,
+    parse_prometheus,
+    record_level_structure,
+)
+from .tracing import Span, Tracer, iter_spans, phase_totals, self_cost
+
+# NOTE: the submodules are deliberately NOT shadowed by same-named
+# re-exports — ``repro.obs.tracing`` must stay the module (hot paths do
+# ``from ..obs import tracing as _tracing`` and read ``_tracing.ACTIVE``).
+# The ``tracing()`` / ``collecting()`` context managers live one level
+# down: ``from repro.obs.tracing import tracing``.
+
+__all__ = [
+    "export",
+    "metrics",
+    "tracing",
+    "Span",
+    "Tracer",
+    "iter_spans",
+    "self_cost",
+    "phase_totals",
+    "MetricsRegistry",
+    "collecting",
+    "parse_prometheus",
+    "record_level_structure",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,99 @@
+"""Exporters for span forests: Chrome ``trace_event`` JSON and JSONL.
+
+Chrome trace format
+-------------------
+:func:`to_chrome_trace` emits the subset of the Trace Event Format that
+Perfetto and ``chrome://tracing`` consume: complete events
+(``"ph": "X"``) with microsecond ``ts``/``dur``, one ``tid`` per span
+depth so nesting renders as a flame graph, and the metered work/depth
+plus user attributes in ``args``.  Timestamps are rebased to the
+earliest span start so the profile opens at t=0.
+
+JSONL format
+------------
+:func:`to_jsonl` emits one JSON object per span (pre-order, parents
+before children) with ``span_id``/``parent_id`` links and no nested
+``children`` arrays — suitable for line-oriented tooling (``jq``,
+``grep``) and for streaming appends.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .tracing import Span, iter_spans
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+]
+
+
+def to_chrome_trace(
+    roots: Iterable[Span], process_name: str = "repro"
+) -> dict[str, Any]:
+    """Span forest as a Chrome ``trace_event`` JSON object."""
+    roots = list(roots)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    if not roots:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    epoch = min(span.start_s for span in roots)
+
+    def emit(span: Span, tid: int) -> None:
+        args: dict[str, Any] = {"work": span.work, "depth": span.depth}
+        args.update(span.attrs)
+        if span.error is not None:
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round((span.start_s - epoch) * 1e6, 3),
+                "dur": round(span.wall_seconds * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            emit(child, tid + 1)
+
+    for root in roots:
+        emit(root, 1)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, roots: Iterable[Span], process_name: str = "repro"
+) -> None:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(roots, process_name), fh, indent=1)
+        fh.write("\n")
+
+
+def to_jsonl(roots: Iterable[Span]) -> str:
+    """Span forest as newline-delimited JSON, one flat object per span."""
+    lines = []
+    for span in iter_spans(list(roots)):
+        record = span.to_dict()
+        record["num_children"] = len(record.pop("children"))
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, roots: Iterable[Span]) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(roots))

@@ -1,0 +1,313 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The serving and chaos layers accumulate health signals — batches
+applied, retries, rollbacks, failed audits, faultpoint fires, level
+occupancy, cascade queue lengths — into one
+:class:`MetricsRegistry`, dumpable as Prometheus text exposition
+(:meth:`MetricsRegistry.to_prometheus`) or JSON
+(:meth:`MetricsRegistry.to_json_dict`).  ``repro metrics`` drives a
+workload with a registry installed and prints either format; the chaos
+and bench reports embed the JSON dump.
+
+Zero overhead when disabled
+---------------------------
+Identical contract to :mod:`repro.faults` and
+:mod:`repro.obs.tracing`: the installed registry is the module global
+:data:`ACTIVE` (``None`` by default) and every instrumented site is one
+module-global load plus a branch, hoisted to a local in hot loops.  The
+:mod:`repro.parallel.engine` layer stays import-clean — :func:`install`
+pushes a hook into the engine via
+:func:`repro.parallel.engine.set_obs_hook` instead of being imported
+there.
+
+Metric naming
+-------------
+Dotted lowercase names (``service.rollbacks``, ``plds.rise_levels``);
+the Prometheus dump prefixes ``repro_``, maps dots to underscores, and
+appends ``_total`` to counters — ``service.rollbacks`` becomes
+``repro_service_rollbacks_total``.  See ``docs/observability.md`` for
+the full name table.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..parallel import engine as _engine
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "ACTIVE",
+    "install",
+    "clear",
+    "collecting",
+    "record_level_structure",
+    "parse_prometheus",
+]
+
+#: Histogram bucket upper bounds (a +Inf bucket is always appended).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+)
+
+#: A (name, sorted-labels) series key.
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one observed run."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self._buckets = tuple(buckets)
+        self._counters: dict[_Key, float] = {}
+        self._gauges: dict[_Key, float] = {}
+        self._histograms: dict[_Key, _Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` (default 1) to a monotone counter."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a point-in-time gauge to ``value``."""
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into a histogram."""
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = _Histogram(self._buckets)
+        hist.observe(value)
+
+    def engine_hook(self, site: str) -> None:
+        """Per-parfor hook the engine layer calls when installed."""
+        self.inc(site + ".calls")
+
+    # -- reading (tests and reports) -----------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> float | None:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram_count(self, name: str, **labels: Any) -> int:
+        hist = self._histograms.get(_key(name, labels))
+        return hist.count if hist is not None else 0
+
+    # -- dumps ---------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON dump: one entry per series, sorted for reproducibility."""
+
+        def series(table: Mapping[_Key, float]) -> list[dict[str, Any]]:
+            return [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(table.items())
+            ]
+
+        return {
+            "format": 1,
+            "counters": series(self._counters),
+            "gauges": series(self._gauges),
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": {
+                        _bound_str(b): c
+                        for b, c in zip(
+                            list(hist.buckets) + [float("inf")], hist.counts
+                        )
+                    },
+                    "sum": hist.sum,
+                    "count": hist.count,
+                }
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+        }
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+
+        def emit(
+            table: Mapping[_Key, float], kind: str, suffix: str = ""
+        ) -> None:
+            typed: set[str] = set()
+            for (name, labels), value in sorted(table.items()):
+                metric = prefix + _sanitize(name) + suffix
+                if metric not in typed:
+                    lines.append(f"# TYPE {metric} {kind}")
+                    typed.add(metric)
+                lines.append(f"{metric}{_label_str(labels)} {_num(value)}")
+
+        emit(self._counters, "counter", "_total")
+        emit(self._gauges, "gauge")
+        typed: set[str] = set()
+        for (name, labels), hist in sorted(self._histograms.items()):
+            metric = prefix + _sanitize(name)
+            if metric not in typed:
+                lines.append(f"# TYPE {metric} histogram")
+                typed.add(metric)
+            cumulative = 0
+            for bound, count in zip(
+                list(hist.buckets) + [float("inf")], hist.counts
+            ):
+                cumulative += count
+                le = (("le", _bound_str(bound)),) + labels
+                lines.append(f"{metric}_bucket{_label_str(le)} {cumulative}")
+            lines.append(f"{metric}_sum{_label_str(labels)} {_num(hist.sum)}")
+            lines.append(f"{metric}_count{_label_str(labels)} {hist.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _bound_str(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound))
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+#: The installed registry, consulted by every instrumented site;
+#: ``None`` (the default) compiles each site down to a load-and-branch.
+ACTIVE: MetricsRegistry | None = None
+
+
+def install(registry: MetricsRegistry) -> None:
+    """Make ``registry`` active and hook the engine layer into it."""
+    global ACTIVE
+    ACTIVE = registry
+    _engine.set_obs_hook(registry.engine_hook)
+
+
+def clear() -> None:
+    """Deactivate metrics collection; all sites become no-ops again."""
+    global ACTIVE
+    ACTIVE = None
+    _engine.set_obs_hook(None)
+
+
+@contextmanager
+def collecting(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Scope a registry to a ``with`` block, restoring the previous one."""
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = ACTIVE
+    install(registry)
+    try:
+        yield registry
+    finally:
+        if previous is None:
+            clear()
+        else:
+            install(previous)
+
+
+def record_level_structure(registry: MetricsRegistry, structure: Any) -> None:
+    """Gauge a level structure's occupancy into ``registry``.
+
+    Duck-typed against the PLDS family (``level_histogram`` /
+    ``group_histogram`` / ``num_levels``); engines without a level
+    structure contribute only the generic size gauges.  O(n), so this
+    is called at observation points (end of a ``repro metrics`` run,
+    per-trial in chaos reports), not per batch.
+    """
+    n = getattr(structure, "num_vertices", None)
+    if n is not None:
+        registry.gauge("structure.num_vertices", n)
+    m = getattr(structure, "num_edges", None)
+    if m is not None:
+        registry.gauge("structure.num_edges", m)
+    level_histogram = getattr(structure, "level_histogram", None)
+    if level_histogram is None:
+        return
+    for level, count in sorted(level_histogram().items()):
+        registry.gauge("plds.level_occupancy", count, level=level)
+    for group, count in sorted(structure.group_histogram().items()):
+        registry.gauge("plds.group_size", count, group=group)
+    registry.gauge("plds.num_levels", structure.num_levels)
+    registry.gauge("plds.levels_per_group", structure.levels_per_group)
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse a Prometheus text dump back into ``{(name, labels): value}``.
+
+    Supports exactly the subset :meth:`MetricsRegistry.to_prometheus`
+    emits; raises ``ValueError`` on malformed lines.  Used by the CI
+    obs-smoke job and the tests to validate that dumps stay parseable.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    line_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+    )
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = line_re.match(line)
+        if match is None:
+            raise ValueError(f"malformed metrics line {lineno}: {line!r}")
+        name, label_blob, value = match.groups()
+        labels: tuple[tuple[str, str], ...] = ()
+        if label_blob:
+            labels = tuple(label_re.findall(label_blob))
+        samples[(name, labels)] = float(value.replace("+Inf", "inf"))
+    return samples
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    """The registry's JSON dump as a string (stable key order)."""
+    return json.dumps(registry.to_json_dict(), indent=1, sort_keys=True)

@@ -47,6 +47,7 @@ __all__ = [
     "parfor",
     "parmap",
     "set_fault_hook",
+    "set_obs_hook",
 ]
 
 
@@ -58,11 +59,21 @@ __all__ = [
 #: contract the perf harness gates.
 _FAULT_HOOK: Callable[[str], None] | None = None
 
+#: Observability hook for the same ``engine.parfor`` site, pushed in by
+#: :mod:`repro.obs.metrics` under the identical import-clean contract.
+_OBS_HOOK: Callable[[str], None] | None = None
+
 
 def set_fault_hook(hook: Callable[[str], None] | None) -> None:
     """Install (or with ``None`` remove) the ``engine.parfor`` fault hook."""
     global _FAULT_HOOK
     _FAULT_HOOK = hook
+
+
+def set_obs_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or with ``None`` remove) the ``engine.parfor`` obs hook."""
+    global _OBS_HOOK
+    _OBS_HOOK = hook
 
 
 @dataclass(frozen=True)
@@ -203,6 +214,8 @@ class WorkDepthTracker:
         """
         if _FAULT_HOOK is not None:
             _FAULT_HOOK("engine.parfor")
+        if _OBS_HOOK is not None:
+            _OBS_HOOK("engine.parfor")
         stack = self._stack
         scratch = _Frame()
         stack.append(scratch)
@@ -300,6 +313,8 @@ class NullTracker(WorkDepthTracker):
     def flat_parfor(self, items: Iterable[T], body: Callable[[T], None]) -> None:
         if _FAULT_HOOK is not None:
             _FAULT_HOOK("engine.parfor")
+        if _OBS_HOOK is not None:
+            _OBS_HOOK("engine.parfor")
         for item in items:
             body(item)
 
@@ -318,6 +333,8 @@ def parfor(
     """
     if _FAULT_HOOK is not None:
         _FAULT_HOOK("engine.parfor")
+    if _OBS_HOOK is not None:
+        _OBS_HOOK("engine.parfor")
     with tracker.parallel() as par:
         for item in items:
             with par.branch():

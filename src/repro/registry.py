@@ -39,6 +39,7 @@ from .baselines.zhang import ZhangExactDynamic
 from .core.lds import LDS
 from .core.plds import PLDS
 from .graphs.streams import Batch
+from .obs import tracing as _tracing
 from .parallel.engine import Cost, WorkDepthTracker
 
 __all__ = [
@@ -128,7 +129,19 @@ class DynamicKCoreAdapter:
             self.impl.initialize(edges)
 
     def update(self, batch: Batch) -> None:
-        self.impl.update(batch)
+        tracer = _tracing.ACTIVE
+        if tracer is None or isinstance(self.impl, PLDS):
+            # The PLDS family traces its own (finer-grained) update span.
+            self.impl.update(batch)
+            return
+        with tracer.span(
+            "engine.update",
+            self.tracker,
+            key=self.key,
+            insertions=len(batch.insertions),
+            deletions=len(batch.deletions),
+        ):
+            self.impl.update(batch)
 
     # -- results ------------------------------------------------------------
 
@@ -136,6 +149,11 @@ class DynamicKCoreAdapter:
         if isinstance(self.impl, (PLDS, LDS, SunApproxDynamic, StaticRerunAdapter)):
             return self.impl.coreness_estimates()
         return {v: float(k) for v, k in self.impl.corenesses().items()}
+
+    @property
+    def tracker(self) -> WorkDepthTracker:
+        """The engine's tracker (every registered impl carries one)."""
+        return self.impl.tracker
 
     @property
     def cost(self) -> Cost:

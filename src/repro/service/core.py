@@ -47,10 +47,12 @@ Example
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from .. import faults as _faults
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..core.invariants import plds_invariant_violations, structure_matches_edges
 from ..core.plds import PLDS
 from ..faults import InjectedFault
@@ -169,6 +171,11 @@ class BatchTelemetry:
     attempts: int = 1
     rolled_back: bool = False
     degraded: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view — the single serialization path the
+        chaos and perf reports use (no ad-hoc field copying)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -304,6 +311,16 @@ class CoreService:
         return self._graph.num_edges
 
     @property
+    def engine(self) -> Any:
+        """The live engine implementation (read-only observation seam).
+
+        Observability consumers (``repro metrics``, dashboards) read
+        level/group occupancy off this; mutating it bypasses the
+        journal/mirror and is undefined behavior.
+        """
+        return self._driver.plds if self._driver is not None else self._adapter.impl
+
+    @property
     def total_cost(self) -> Cost:
         """Metered (work, depth) accumulated by the engine so far."""
         return self._adapter.cost
@@ -338,7 +355,32 @@ class CoreService:
 
         Telemetry covers the successful attempt (plus backoff depth);
         rolled-back attempts' metering is discarded with their state.
+
+        With a tracer installed (:mod:`repro.obs.tracing`), the whole
+        method runs under a ``service.batch`` span whose (work, depth)
+        delta equals this batch's :class:`BatchTelemetry` exactly on
+        fault-free batches, with one ``service.apply`` child span per
+        attempt; rollback re-snapshotting breaks the equality for
+        batches that needed a retry (by design — telemetry discards
+        rolled-back metering, the span does not once the engine keeps
+        its tracker).
         """
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            return self._serve_batch(batch, None)
+        with tracer.span(
+            "service.batch",
+            self._tracker(),
+            algorithm=self.algorithm,
+            insertions=len(batch.insertions),
+            deletions=len(batch.deletions),
+        ):
+            return self._serve_batch(batch, tracer)
+
+    def _serve_batch(
+        self, batch: Batch, tracer: "_tracing.Tracer | None"
+    ) -> BatchTelemetry:
+        mreg = _metrics.ACTIVE
         validate_vertex_ids(batch)
         record = self.journal.begin(batch)
         restore_point = self._restore_point() if self.transactional else None
@@ -348,6 +390,11 @@ class CoreService:
         before = self._adapter.cost
         while True:
             attempts += 1
+            attempt_span = (
+                tracer.begin("service.apply", self._tracker(), attempt=attempts)
+                if tracer is not None
+                else None
+            )
             try:
                 if _faults.ACTIVE is not None:
                     _faults.ACTIVE.hit("service.apply")
@@ -355,8 +402,13 @@ class CoreService:
                     self._driver.update(batch)
                 else:
                     self._adapter.update(batch)
+                if attempt_span is not None:
+                    tracer.end(attempt_span)
                 break
             except Exception as exc:
+                if attempt_span is not None:
+                    # Unwinds any spans the failed cascade left open.
+                    tracer.end(attempt_span, error=type(exc).__name__)
                 if not self.transactional:
                     self.journal.abort(record)
                     raise
@@ -364,12 +416,16 @@ class CoreService:
                     tuple(sorted(self._graph.edges())), restore_point
                 )
                 rolled_back = True
+                if mreg is not None:
+                    mreg.inc("service.rollbacks")
                 before = self._adapter.cost
                 if attempts >= self.retry.max_attempts or not isinstance(
                     exc, self.retry.retry_on
                 ):
                     self.journal.abort(record)
                     raise
+                if mreg is not None:
+                    mreg.inc("service.retries")
                 backoff = self.retry.backoff_for(attempts)
                 if backoff:
                     self._tracker().add(work=0, depth=backoff)
@@ -386,10 +442,21 @@ class CoreService:
         self.batches_applied += 1
         degraded = False
         if self.audit_policy.due(self.batches_applied, rolled_back):
-            problems = self.audit()
+            if tracer is not None:
+                with tracer.span("service.audit", self._tracker()):
+                    problems = self.audit()
+            else:
+                problems = self.audit()
+            if mreg is not None:
+                mreg.inc("service.audits")
             if problems:
                 self._degrade(problems)
                 degraded = True
+                if mreg is not None:
+                    mreg.inc("service.audits_failed")
+                    mreg.inc("service.degraded")
+        if mreg is not None:
+            mreg.inc("service.batches")
         entry = BatchTelemetry(
             batch_id=self.batches_applied,
             insertions=len(batch.insertions),
@@ -554,17 +621,40 @@ class CoreService:
         Snapshot-capable engines (PLDS family) are rebuilt bit-exactly
         from their structural snapshot; everything else — including
         hosted applications — is rebuilt by replaying the snapshotted
-        edge set as one insertion batch.  Telemetry and the journal are
-        append-only logs and are kept; :attr:`batches_applied` rewinds.
+        edge set as one insertion batch.  The journal is an append-only
+        log and is kept; :attr:`batches_applied` rewinds and
+        :attr:`telemetry` is truncated to the snapshot's batch horizon so
+        the two stay consistent (a telemetry row for a batch the service
+        no longer reflects would be a lie).  Emits a ``service.restore``
+        span and counter when observability is on.
         """
         if snapshot.algorithm != self.algorithm:
             raise ValueError(
                 f"snapshot was taken from {snapshot.algorithm!r}, "
                 f"this service runs {self.algorithm!r}"
             )
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            self._restore_from(snapshot)
+            return
+        with tracer.span(
+            "service.restore",
+            self._tracker(),
+            mode="snapshot",
+            snapshot_id=snapshot.snapshot_id,
+        ):
+            self._restore_from(snapshot)
+
+    def _restore_from(self, snapshot: ServiceSnapshot) -> None:
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc("service.restores", mode="snapshot")
         self._restore_engine(snapshot.edges, snapshot.engine_state)
         self._graph = DynamicGraph(snapshot.edges)
         self.batches_applied = snapshot.batches_applied
+        self.telemetry = [
+            t for t in self.telemetry if t.batch_id <= snapshot.batches_applied
+        ]
 
     def _restore_engine(
         self,
@@ -620,10 +710,24 @@ class CoreService:
         batch sequence — for deterministic engines the replayed service
         is bit-identical to the crashed one.  Pending and aborted records
         are skipped, matching their transaction semantics.
+
+        The rebuilt service's telemetry covers the replayed batches (its
+        own serving history), and the replay is observable: it counts as
+        one ``service.restores{mode="journal"}`` and, when a tracer is
+        active, runs inside a ``service.restore`` span.
         """
         service = cls(algorithm, **kwargs)
-        for batch in journal.committed_batches():
-            service.apply_batch(batch)
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc("service.restores", mode="journal")
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            for batch in journal.committed_batches():
+                service.apply_batch(batch)
+            return service
+        with tracer.span("service.restore", service._tracker(), mode="journal"):
+            for batch in journal.committed_batches():
+                service.apply_batch(batch)
         return service
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -157,3 +157,84 @@ class TestParforParmap:
     def test_parfor_empty_adds_nothing(self, tracker):
         parfor(tracker, [], lambda x: tracker.add(work=99, depth=99))
         assert tracker.cost == Cost(0, 0)
+
+
+class TestSnapshotDeltaScoping:
+    """snapshot()/delta() read the *root* frame only — the contract span
+    tracing (repro.obs.tracing) builds its reconciliation invariant on."""
+
+    def test_delta_inside_open_branch_reads_zero(self, tracker):
+        snap = tracker.snapshot()
+        with tracker.parallel() as par:
+            with par.branch():
+                tracker.add(work=9, depth=4)
+                # Charges live on the branch frame: not yet visible at root.
+                assert tracker.delta(snap) == Cost(0, 0)
+            # Folded into the scope, still not at root.
+            assert tracker.delta(snap) == Cost(0, 0)
+        # Scope closed: the combined cost lands on the root frame.
+        assert tracker.delta(snap) == Cost(9, 4)
+
+    def test_delta_across_nested_parallel_scopes(self, tracker):
+        tracker.add(work=1, depth=1)
+        snap = tracker.snapshot()
+        with tracker.parallel() as outer:
+            with outer.branch():
+                with tracker.parallel() as inner:
+                    for d in (2, 5):
+                        with inner.branch():
+                            tracker.add(work=3, depth=d)
+                tracker.add(work=1, depth=1)
+        # inner: work 6, depth 5; branch adds (1, 1) sequentially.
+        assert tracker.delta(snap) == Cost(7, 6)
+        assert tracker.snapshot() == Cost(8, 7)
+
+    def test_delta_spanning_flat_parfor(self, tracker):
+        snap = tracker.snapshot()
+        tracker.flat_parfor([1, 4, 2], lambda d: tracker.add(work=d, depth=d))
+        assert tracker.delta(snap) == Cost(7, 4)
+
+    def test_sequential_snapshots_tile_the_run(self, tracker):
+        """Back-to-back deltas sum to the total — no charge lost or doubled."""
+        deltas = []
+        for d in (3, 7, 2):
+            snap = tracker.snapshot()
+            with tracker.parallel() as par:
+                with par.branch():
+                    tracker.add(work=10, depth=d)
+            deltas.append(tracker.delta(snap))
+        total = Cost(0, 0)
+        for c in deltas:
+            total = total + c
+        assert total == tracker.cost == Cost(30, 12)
+
+
+class TestNullTracker:
+    def test_charges_nothing(self):
+        from repro.parallel.engine import NullTracker
+
+        t = NullTracker()
+        t.add(work=5, depth=5)
+        t.add_cost(Cost(3, 3))
+        t.charge_parfor(10, per_work=2, per_depth=2)
+        with t.parallel() as par:
+            with par.branch():
+                t.add(work=9, depth=9)
+        assert t.cost == Cost(0, 0)
+
+    def test_snapshot_delta_stay_zero(self):
+        from repro.parallel.engine import NullTracker
+
+        t = NullTracker()
+        snap = t.snapshot()
+        t.add(work=5, depth=5)
+        t.flat_parfor(range(4), lambda i: t.add())
+        assert snap == Cost(0, 0)
+        assert t.delta(snap) == Cost(0, 0)
+
+    def test_flat_parfor_still_executes_body(self):
+        from repro.parallel.engine import NullTracker
+
+        seen = []
+        NullTracker().flat_parfor(range(3), seen.append)
+        assert seen == [0, 1, 2]
