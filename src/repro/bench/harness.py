@@ -19,6 +19,7 @@ hua         :class:`repro.baselines.hua.HuaExactBatchDynamic` parallel exact
 zhang       :class:`repro.baselines.zhang.ZhangExactDynamic`  sequential exact
 exactkcore  static rerun of ParallelExactKCore per batch   parallel exact
 approxkcore static rerun of Algorithm 6 per batch          parallel approx
+plds-sharded :class:`repro.shard.Coordinator` scatter-gather parallel approx
 =========== ============================================= ===========
 
 The two static keys model the paper's Fig.-11 static comparison: the

@@ -48,6 +48,8 @@ from typing import Callable, Sequence
 from ..graphs.generators import barabasi_albert, grid_2d
 from ..graphs.streams import deletion_batches, insertion_batches, mixed_batch
 from ..obs.tracing import Tracer, phase_totals, tracing
+from ..parallel.engine import Cost
+from ..parallel.scheduler import BrentScheduler
 from ..registry import algorithm_spec, make_adapter
 
 __all__ = [
@@ -80,6 +82,9 @@ _BASE_POWERLAW_N = 3000
 _BASE_GRID_SIDE = 55
 _STREAM_SEED = 7
 
+#: thread count for the simulated ``t_p`` column (the paper's machine).
+T_P_THREADS = 60
+
 
 @dataclass(frozen=True)
 class PerfEntry:
@@ -91,6 +96,15 @@ class PerfEntry:
     the offending phase.  It defaults to ``None`` — baseline files
     written before the field existed load unchanged, and the regression
     gate never compares it.
+
+    ``t_p`` is the simulated parallel running time at the benchmark
+    thread count (:data:`T_P_THREADS`, sequential algorithms at 1) via
+    Brent's bound over the metered (work, depth).  For the sharded
+    coordinator the metered depth is the scatter-gather critical path —
+    per cascade round, the max over shards plus the ghost-exchange
+    combining depth — so ``t_p`` is directly comparable between the
+    sharded and single-structure rows.  Like ``phases`` it is optional:
+    pre-existing baseline files load unchanged and the gate skips it.
     """
 
     workload: str
@@ -100,6 +114,7 @@ class PerfEntry:
     depth: int
     space: int
     phases: dict | None = None
+    t_p: float | None = None
 
 
 @dataclass
@@ -121,9 +136,10 @@ class BenchReport:
         entries = []
         for e in self.entries:
             d = asdict(e)
-            if d["phases"] is None:
-                # Untraced entries keep the original on-disk schema.
-                del d["phases"]
+            for opt in ("phases", "t_p"):
+                if d[opt] is None:
+                    # Unset optional fields keep the original on-disk schema.
+                    del d[opt]
             entries.append(d)
         return {
             "format": self.format,
@@ -154,7 +170,11 @@ def _edges_for(family: str, scale: float) -> list[tuple[int, int]]:
 
 
 def _run_workload(
-    workload: str, algo: str, scale: float, trace: bool = False
+    workload: str,
+    algo: str,
+    scale: float,
+    trace: bool = False,
+    shards: int = 4,
 ) -> tuple[float, int, int, int, dict | None]:
     """Apply one workload end to end.
 
@@ -162,6 +182,8 @@ def _run_workload(
     span-tree phase attribution when ``trace`` is on, else ``None``.
     Tracing adds per-phase bookkeeping inside the timed region, so traced
     wall numbers should only be compared against traced baselines.
+    ``shards`` parameterizes sharded keys; single-structure engines
+    ignore it.
     """
     family, protocol = workload.rsplit("-", 1)
     edges = _edges_for(family, scale)
@@ -179,7 +201,7 @@ def _run_workload(
     else:
         raise ValueError(f"unknown protocol {protocol!r}")
 
-    adapter = make_adapter(algo, n_hint)
+    adapter = make_adapter(algo, n_hint, shards=shards)
     # Same GC discipline as ``timeit``: collect leftovers from the
     # previous cell, then keep the cyclic collector out of the timed
     # region so one cell's garbage cannot distort another's wall time.
@@ -219,6 +241,7 @@ def run_suite(
     repeats: int = 1,
     progress: Callable[[str], None] | None = None,
     trace: bool = False,
+    shards: int = 4,
 ) -> list[PerfEntry]:
     """Run every (workload, algo) pair; wall time is the best of ``repeats``.
 
@@ -227,11 +250,13 @@ def run_suite(
     Work/depth/space are identical across repeats (the substrate is
     deterministic), so they are taken from the last run.  With ``trace``
     on, each entry additionally carries its per-phase attribution table.
+    ``shards`` parameterizes sharded algorithm keys only.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     for algo in algos:
         algorithm_spec(algo)  # fail fast, naming the valid registry keys
+    sched = BrentScheduler()
     entries: list[PerfEntry] = []
     for workload in workloads:
         for algo in algos:
@@ -240,9 +265,11 @@ def run_suite(
             phases: dict | None = None
             for _ in range(repeats):
                 wall, work, depth, space, phases = _run_workload(
-                    workload, algo, scale, trace=trace
+                    workload, algo, scale, trace=trace, shards=shards
                 )
                 best = min(best, wall)
+            p = T_P_THREADS if algorithm_spec(algo).parallel else 1
+            t_p = sched.time(Cost(work=work, depth=depth), p)
             entries.append(
                 PerfEntry(
                     workload=workload,
@@ -252,6 +279,7 @@ def run_suite(
                     depth=depth,
                     space=space,
                     phases=phases,
+                    t_p=round(t_p, 3),
                 )
             )
             if progress is not None:

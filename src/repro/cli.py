@@ -310,6 +310,11 @@ def cmd_bench(args) -> int:
     )
 
     algos = tuple(args.algos.split(",")) if args.algos else DEFAULT_ALGOS
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("--shards must be >= 1")
+        if "plds-sharded" not in algos:
+            algos = algos + ("plds-sharded",)
     for a in algos:
         if a not in algorithm_keys():
             raise SystemExit(
@@ -326,9 +331,11 @@ def cmd_bench(args) -> int:
     # Validate the baseline before the (possibly long) suite run, not after.
     if args.baseline and not os.path.exists(args.baseline):
         raise SystemExit(f"baseline not found: {args.baseline}")
+    shards = args.shards if args.shards is not None else 4
     print(
         f"perfsuite: scale={args.scale} repeats={args.repeats} "
         f"algos={','.join(algos)}"
+        + (f" shards={shards}" if "plds-sharded" in algos else "")
     )
     entries = run_suite(
         scale=args.scale,
@@ -337,6 +344,7 @@ def cmd_bench(args) -> int:
         repeats=args.repeats,
         progress=lambda line: print(f"  {line}"),
         trace=args.trace,
+        shards=shards,
     )
     report = BenchReport(label=args.label, scale=args.scale, entries=entries)
     out_path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
@@ -625,6 +633,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="record per-phase attribution on every entry "
                         "(adds tracing overhead inside the timed region)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="bench the sharded coordinator too (plds-sharded "
+                        "with this many shards is appended to --algos)")
     p.set_defaults(fn=cmd_bench)
 
     def add_obs_workload(p):

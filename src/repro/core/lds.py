@@ -79,7 +79,7 @@ class LDS(PLDS):
                 if mreg is not None:
                     mreg.inc("lds.cascade_moves", phase="insert")
                 before = tracker.work
-                marked = self._move_up(v)
+                marked = self._move_up(rec)
                 # sequential: the move contributes its work to the depth too
                 tracker.add(work=0, depth=tracker.work - before)
                 moved.add(v)
@@ -112,9 +112,9 @@ class LDS(PLDS):
                 if mreg is not None:
                     mreg.inc("lds.cascade_moves", phase="delete")
                 before = tracker.work
-                weakened = self._move_down(v, rec.level - 1)
+                weakened = self._move_down(rec, rec.level - 1)
                 tracker.add(work=0, depth=tracker.work - before)
                 descended = True
-                queue.update(sorted(weakened))
+                queue.update(sorted(w.id for w in weakened))
             if descended:
                 moved.add(v)

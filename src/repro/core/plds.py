@@ -105,9 +105,17 @@ class _VertexRecord:
     every edge insertion/deletion (level moves shuffle neighbors between
     ``up`` and ``down`` but never change the degree), so ``degree()`` is
     O(1) instead of re-summing every down-level set.
+
+    ``ghost`` marks a read-mostly replica of a vertex owned by another
+    shard (:mod:`repro.shard`): the record mirrors the owner's level and
+    the adjacency restricted to the holding shard's local vertices.  The
+    monolithic PLDS never sets it; cascade primitives treat ghost and
+    local records identically (the level-message boundary lives in the
+    shard kernel, which skips marking ghosts and emits move events
+    instead).
     """
 
-    __slots__ = ("id", "level", "up", "down", "deg")
+    __slots__ = ("id", "level", "up", "down", "deg", "ghost")
 
     def __init__(self, vid: int) -> None:
         self.id = vid
@@ -115,6 +123,7 @@ class _VertexRecord:
         self.up: set["_VertexRecord"] = set()
         self.down: dict[int, set["_VertexRecord"]] = {}
         self.deg = 0
+        self.ghost = False
 
     def degree(self) -> int:
         return self.deg
@@ -589,9 +598,9 @@ class PLDS:
 
         def rise(v: int) -> None:
             # Jump strategy only; the levelwise path is inlined below.
-            newly_marked = self._move_up_to(v, self._up_desire_level(v))
-            moved.add(v)
             rec = vertices[v]
+            newly_marked = self._move_up_to(rec, self._up_desire_level(rec))
+            moved.add(v)
             if len(rec.up) > bounds[rec.level]:
                 newly_marked.append(rec)
             for wrec in newly_marked:
@@ -782,8 +791,8 @@ class PLDS:
             if span is not None:
                 tracer.end(span)
 
-    def _move_up(self, v: int) -> list["_VertexRecord"]:
-        """Move ``v`` one level up (Algorithm 2's unit step).
+    def _move_up(self, rec: "_VertexRecord") -> list["_VertexRecord"]:
+        """Move ``rec``'s vertex one level up (Algorithm 2's unit step).
 
         Specialized single-level version of :meth:`_move_up_to` — the
         dominant operation of levelwise insertion rebalancing.  With
@@ -793,11 +802,12 @@ class PLDS:
         for v slides up one level).  Unlike :meth:`_move_up_to`, the
         returned violation list (of records) includes ``v``'s own record
         when v still violates Invariant 1 at the new level, so callers
-        skip the re-check.  Cost: O(|U[v]|) work, O(log* n) depth — identical
-        charges to the generic path.
+        skip the re-check.  Takes the record (not the id) so shard
+        kernels can apply the same step to ghost replicas that live
+        outside ``_vertices``.  Cost: O(|U[v]|) work, O(log* n) depth —
+        identical charges to the generic path.
         """
-        vertices = self._vertices
-        rec = vertices[v]
+        v = rec.id
         old = rec.level
         target = old + 1
         up = rec.up
@@ -848,16 +858,18 @@ class PLDS:
             newly_marked.append(rec)
         return newly_marked
 
-    def _move_up_to(self, v: int, target: int) -> list["_VertexRecord"]:
-        """Move ``v`` up to ``target``, updating all affected structures.
+    def _move_up_to(
+        self, rec: "_VertexRecord", target: int
+    ) -> list["_VertexRecord"]:
+        """Move ``rec`` up to ``target``, updating all affected structures.
 
         ``target == old + 1`` is the theoretical Algorithm 2 step; larger
         jumps implement the Section-6.1 optimization.  Returns the records
         of neighbors whose up-degree grew and now violate Invariant 1 (to
-        be marked).  Cost: O(|U[v]|) work, O(log* n) depth.
+        be marked).  Record-based so shard kernels can move ghost
+        replicas.  Cost: O(|U[v]|) work, O(log* n) depth.
         """
-        vertices = self._vertices
-        rec = vertices[v]
+        v = rec.id
         old = rec.level
         if target <= old:
             raise AssertionError("move_up_to requires a strictly higher level")
@@ -912,7 +924,7 @@ class PLDS:
         rec.level = target
         return newly_marked
 
-    def _up_desire_level(self, v: int) -> int:
+    def _up_desire_level(self, rec: "_VertexRecord") -> int:
         """First level above ℓ(v) where Invariant 1 holds (Section 6.1).
 
         ``cnt(j)`` = #neighbors at levels >= j is non-increasing in j
@@ -921,8 +933,6 @@ class PLDS:
         violated Invariant 1, so ``cnt(j-1) > (2+3/λ)(1+δ)^{gn(j-1)} >=
         (1+δ)^{gn(j-1)}``.
         """
-        vertices = self._vertices
-        rec = vertices[v]
         old = rec.level
         # Histogram the up-neighbor levels once, then walk upward dropping
         # the count of neighbors below each candidate level (all up
@@ -978,7 +988,7 @@ class PLDS:
             below = rec.down.get(lvl - 1)
             up_star = len(rec.up) + (len(below) if below else 0)
             if up_star < thresholds[lvl]:
-                dl = self._calculate_desire_level(w)
+                dl = self._calculate_desire_level(rec)
                 desire[w] = dl
                 bucket = pending.get(dl)
                 if bucket is None:
@@ -1029,9 +1039,10 @@ class PLDS:
                 continue
 
             def descend(v: int, level: int = level) -> None:
-                fresh = self._calculate_desire_level(v)
+                rec = vertices[v]
+                fresh = self._calculate_desire_level(rec)
                 if fresh != level:
-                    if fresh < vertices[v].level:
+                    if fresh < rec.level:
                         desire[v] = fresh
                         bucket = pending.get(fresh)
                         if bucket is None:
@@ -1041,10 +1052,11 @@ class PLDS:
                     else:
                         desire.pop(v, None)
                     return
-                weakened = self._move_down(v, level)
+                weakened = self._move_down(rec, level)
                 moved.add(v)
                 desire.pop(v, None)
-                for w in weakened:
+                for wrec in weakened:
+                    w = wrec.id
                     if desire.get(w) is not None:
                         # stale pending entry is skipped lazily
                         desire.pop(w, None)
@@ -1055,22 +1067,26 @@ class PLDS:
                 span.attrs["movers"] = len(movers)
                 tracer.end(span)
 
-    def _move_down(self, v: int, new_level: int) -> list[int]:
-        """Move ``v`` down to ``new_level``, updating affected structures.
+    def _move_down(
+        self, rec: "_VertexRecord", new_level: int
+    ) -> list["_VertexRecord"]:
+        """Move ``rec`` down to ``new_level``, updating affected structures.
 
-        Returns neighbors whose ``up*`` decreased (candidates for new
-        Invariant-2 violations).  Cost: O(#neighbors at levels >= new_level)
-        work, O(log* n) depth.
+        Returns the records of neighbors whose ``up*`` decreased
+        (candidates for new Invariant-2 violations).  Record-based (and
+        record-returning) so shard kernels can move ghost replicas and
+        partition the weakened set into local re-checks vs. remote
+        messages.  Cost: O(#neighbors at levels >= new_level) work,
+        O(log* n) depth.
         """
-        vertices = self._vertices
-        rec = vertices[v]
+        v = rec.id
         old = rec.level
         if new_level >= old:
             raise AssertionError("move_down requires a strictly lower level")
         tracker = self.tracker
         track = self.track_orientation
         touched = self._touched
-        weakened: list[int] = []
+        weakened: list[_VertexRecord] = []
         ops = len(rec.up)
 
         # Neighbors formerly above or at v's old level.
@@ -1091,7 +1107,7 @@ class PLDS:
                 slot.add(rec)
             # v left Z_{lw-1} iff new_level < lw - 1 <= old.
             if new_level < lw - 1 <= old:
-                weakened.append(wrec.id)
+                weakened.append(wrec)
             if track and lw <= old:
                 w = wrec.id
                 touched.add((v, w) if v <= w else (w, v))
@@ -1115,7 +1131,7 @@ class PLDS:
                     else:
                         slot.add(rec)
                     if new_level < lw - 1 <= old:
-                        weakened.append(wrec.id)
+                        weakened.append(wrec)
                 if track:
                     w = wrec.id
                     touched.add((v, w) if v <= w else (w, v))
@@ -1128,7 +1144,7 @@ class PLDS:
     # Algorithm 4: CalculateDesireLevel
     # ------------------------------------------------------------------
 
-    def _calculate_desire_level(self, v: int) -> int:
+    def _calculate_desire_level(self, rec: "_VertexRecord") -> int:
         """Closest level <= ℓ(v) satisfying both invariants.
 
         Scans downward accumulating ``cnt(j)`` = #neighbors at levels >= j
@@ -1141,7 +1157,6 @@ class PLDS:
         doubling-plus-binary-search; we charge the parallel version's
         O(log K) depth.
         """
-        rec = self._vertices[v]
         lvl = rec.level
         cnt = len(rec.up)
         scanned = 1
@@ -1170,14 +1185,14 @@ class PLDS:
             self._vertices[v] = rec
         return rec
 
-    def _insert_edge_struct(
-        self, u: int, v: int
-    ) -> tuple[_VertexRecord, _VertexRecord]:
-        if u == v:
-            raise ValueError("self-loops are not allowed")
-        if self.has_edge(u, v):
-            raise ValueError(f"duplicate edge ({u},{v})")
-        ru, rv = self._record(u), self._record(v)
+    @staticmethod
+    def _link_records(ru: _VertexRecord, rv: _VertexRecord) -> None:
+        """Wire the edge (ru, rv) into both records' U/L structures.
+
+        Placement follows the level rule only — no duplicate/self-loop
+        checks and no ``_m`` accounting, so shard kernels can link a
+        (local, ghost) record pair under their own edge-count discipline.
+        """
         if rv.level >= ru.level:
             ru.up.add(rv)
         else:
@@ -1196,13 +1211,10 @@ class PLDS:
                 slot.add(ru)
         ru.deg += 1
         rv.deg += 1
-        self._m += 1
-        return ru, rv
 
-    def _delete_edge_struct(self, u: int, v: int) -> None:
-        if not self.has_edge(u, v):
-            raise ValueError(f"edge ({u},{v}) not present")
-        ru, rv = self._vertices[u], self._vertices[v]
+    @staticmethod
+    def _unlink_records(ru: _VertexRecord, rv: _VertexRecord) -> None:
+        """Remove the edge (ru, rv) from both records' U/L structures."""
         if rv.level >= ru.level:
             ru.up.discard(rv)
         else:
@@ -1219,6 +1231,24 @@ class PLDS:
                 del rv.down[ru.level]
         ru.deg -= 1
         rv.deg -= 1
+
+    def _insert_edge_struct(
+        self, u: int, v: int
+    ) -> tuple[_VertexRecord, _VertexRecord]:
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if self.has_edge(u, v):
+            raise ValueError(f"duplicate edge ({u},{v})")
+        ru, rv = self._record(u), self._record(v)
+        self._link_records(ru, rv)
+        self._m += 1
+        return ru, rv
+
+    def _delete_edge_struct(self, u: int, v: int) -> None:
+        if not self.has_edge(u, v):
+            raise ValueError(f"edge ({u},{v}) not present")
+        ru, rv = self._vertices[u], self._vertices[v]
+        self._unlink_records(ru, rv)
         self._m -= 1
 
     # ------------------------------------------------------------------

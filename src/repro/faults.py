@@ -7,7 +7,7 @@ module is the substrate that makes such crashes *reproducible*: named
 cascades, and the :class:`~repro.service.CoreService` apply path, and a
 :class:`FaultPlan` arms any of them to raise :class:`InjectedFault` on
 an exact (Nth) traversal.  Tests, the property suite, and the
-``repro chaos`` CLI all drive recovery through the same four sites:
+``repro chaos`` CLI all drive recovery through the same five sites:
 
 ==================  ====================================================
 site                fires
@@ -18,6 +18,10 @@ site                fires
                     (Algorithm 3's downward cascade)
 ``engine.parfor``   once per simulated ``parfor`` / ``flat_parfor`` call
 ``service.apply``   once per :meth:`CoreService.apply_batch` attempt
+``shard.apply``     once per per-shard structural apply step of the
+                    sharded coordinator (:mod:`repro.shard`) — fires
+                    *after* the shard mutated, so recovery really rolls
+                    back and retries only that shard
 ==================  ====================================================
 
 Zero overhead when disabled
@@ -72,6 +76,7 @@ FAULT_SITES: tuple[str, ...] = (
     "plds.rise",
     "plds.desaturate",
     "service.apply",
+    "shard.apply",
 )
 
 

@@ -181,9 +181,17 @@ def preprocess_batch(
     existing edges.  Self-loops (invalid in the paper's simple-graph
     setting) are dropped outright.  Insertions and deletions within the
     returned batch are therefore disjoint and individually valid.
+
+    Updates sharing both edge and timestamp are ordered by their position
+    in ``updates``, so "latest" deterministically means the one submitted
+    last — without the arrival index, equal-timestamp insert/delete pairs
+    would tie-break on whatever order ``sorted`` received them in.
     """
     latest: dict[tuple[int, int], EdgeUpdate] = {}
-    for upd in sorted(updates, key=lambda x: (x.edge, x.timestamp)):
+    indexed = sorted(
+        enumerate(updates), key=lambda ix: (ix[1].edge, ix[1].timestamp, ix[0])
+    )
+    for _, upd in indexed:
         if upd.u != upd.v:
             latest[upd.edge] = upd
     batch = Batch()

@@ -23,7 +23,7 @@ Example
 -------
 >>> from repro.registry import algorithm_keys, make_adapter
 >>> algorithm_keys(dynamic=True)
-('plds', 'pldsopt', 'lds', 'sun', 'hua', 'zhang')
+('plds', 'pldsopt', 'lds', 'sun', 'hua', 'zhang', 'plds-sharded')
 >>> make_adapter("plds", n_hint=100).key
 'plds'
 """
@@ -41,6 +41,7 @@ from .core.plds import PLDS
 from .graphs.streams import Batch
 from .obs import tracing as _tracing
 from .parallel.engine import Cost, WorkDepthTracker
+from .shard import Coordinator
 
 __all__ = [
     "AlgorithmSpec",
@@ -130,8 +131,13 @@ class DynamicKCoreAdapter:
 
     def update(self, batch: Batch) -> None:
         tracer = _tracing.ACTIVE
-        if tracer is None or isinstance(self.impl, PLDS):
-            # The PLDS family traces its own (finer-grained) update span.
+        if (
+            tracer is None
+            or isinstance(self.impl, PLDS)
+            or getattr(self.impl, "SELF_TRACING", False)
+        ):
+            # The PLDS family and self-tracing engines (the sharded
+            # coordinator) trace their own (finer-grained) update spans.
             self.impl.update(batch)
             return
         with tracer.span(
@@ -146,7 +152,9 @@ class DynamicKCoreAdapter:
     # -- results ------------------------------------------------------------
 
     def estimates(self) -> dict[int, float]:
-        if isinstance(self.impl, (PLDS, LDS, SunApproxDynamic, StaticRerunAdapter)):
+        if isinstance(
+            self.impl, (PLDS, LDS, SunApproxDynamic, StaticRerunAdapter, Coordinator)
+        ):
             return self.impl.coreness_estimates()
         return {v: float(k) for v, k in self.impl.corenesses().items()}
 
@@ -201,6 +209,11 @@ class AlgorithmSpec:
         Whether the engine supports exact structural snapshot/restore
         (``to_snapshot``/``from_snapshot``); others are restored by
         replaying the edge set.
+    sharded:
+        Whether the engine is a partitioned multi-shard structure (the
+        scatter-gather :class:`~repro.shard.Coordinator`).  The shard
+        count itself is a construction parameter (``make_adapter``'s
+        ``shards``); inspect ``adapter.impl.num_shards`` at runtime.
     """
 
     key: str
@@ -212,6 +225,7 @@ class AlgorithmSpec:
     supports_deletions: bool = True
     metered: bool = True
     snapshot: bool = False
+    sharded: bool = False
 
 
 _ALGORITHMS: dict[str, AlgorithmSpec] = {}
@@ -261,8 +275,14 @@ def make_adapter(
     sun_alpha: float = 2.0,
     upper_coeff: float | None = None,
     group_shrink_opt: int = 50,
+    shards: int = 4,
+    partition: str = "hash",
 ) -> DynamicKCoreAdapter:
-    """Build the adapter for one algorithm key with paper-default params."""
+    """Build the adapter for one algorithm key with paper-default params.
+
+    ``shards``/``partition`` only affect sharded keys (``plds-sharded``);
+    the single-structure engines ignore them.
+    """
     params: dict[str, Any] = {
         "delta": delta,
         "lam": lam,
@@ -271,6 +291,8 @@ def make_adapter(
         "sun_alpha": sun_alpha,
         "upper_coeff": upper_coeff,
         "group_shrink_opt": group_shrink_opt,
+        "shards": shards,
+        "partition": partition,
     }
     return algorithm_spec(key).factory(n_hint, params)
 
@@ -334,6 +356,21 @@ def _sun_factory(n_hint: int, p: Mapping[str, Any]) -> DynamicKCoreAdapter:
     )
 
 
+def _sharded_factory(n_hint: int, p: Mapping[str, Any]) -> DynamicKCoreAdapter:
+    return DynamicKCoreAdapter(
+        "plds-sharded",
+        Coordinator(
+            n_hint,
+            delta=p["delta"],
+            lam=p["lam"],
+            upper_coeff=p["upper_coeff"],
+            shards=int(p["shards"]),
+            partition=p["partition"],
+        ),
+        False,
+    )
+
+
 def _static_factory(kind: str) -> AdapterFactory:
     def build(n_hint: int, p: Mapping[str, Any]) -> DynamicKCoreAdapter:
         return DynamicKCoreAdapter(
@@ -390,6 +427,12 @@ register_algorithm(AlgorithmSpec(
     summary="static Algorithm-6 approximation rerun per batch (Fig. 11)",
     factory=_static_factory("approxkcore"),
     exact=False, parallel=True, dynamic=False,
+))
+register_algorithm(AlgorithmSpec(
+    key="plds-sharded",
+    summary="partitioned PLDS behind the scatter-gather shard coordinator",
+    factory=_sharded_factory,
+    exact=False, parallel=True, snapshot=True, sharded=True,
 ))
 
 

@@ -238,13 +238,23 @@ class CoreService:
     transactional:
         When ``True`` (default), every batch is journaled write-ahead
         and any mid-apply exception rolls the engine back to its exact
-        pre-batch state.  Snapshot-capable engines (the PLDS family)
-        restore bit-identically from a pre-batch structural snapshot;
-        other engines — and hosted applications — are rebuilt by
-        replaying the untouched graph mirror (valid, though for
+        pre-batch state.  Snapshot-capable engines (the PLDS family and
+        the sharded coordinator, which snapshots and restores shard by
+        shard) restore bit-identically from a pre-batch structural
+        snapshot; other engines — and hosted applications — are rebuilt
+        by replaying the untouched graph mirror (valid, though for
         path-dependent approximate engines not bit-identical).  ``False``
         restores the pre-PR fail-fast behavior: exceptions propagate and
         the engine is left as the failure left it.
+
+        The fault-isolation ladder under sharding, innermost first: a
+        fault injected at ``shard.apply`` rolls back and retries **only
+        the affected shard** inside the coordinator (other shards keep
+        their state); a fault escaping the shard retry budget, or one
+        injected at ``service.apply``, triggers this service-level
+        whole-engine rollback/retry; repeated service-level failure
+        walks the degradation ladder (rebuild-same, then exact static
+        recompute).
     **engine_kwargs:
         Forwarded to :func:`repro.registry.make_adapter` (``delta``,
         ``lam``, ...) or to the application factory.
@@ -497,8 +507,12 @@ class CoreService:
         (:func:`~repro.core.invariants.plds_invariant_violations`) plus
         edge-set agreement with the mirror
         (:func:`~repro.core.invariants.structure_matches_edges`).
-        Engines without a checkable level structure audit vacuously.
-        Returns human-readable violations; empty list means healthy.
+        Sharded engines audit shard by shard: each problem the
+        coordinator's ``check_invariants`` reports is prefixed with the
+        offending shard id, and the per-shard edge unions must agree
+        with the mirror exactly.  Engines without a checkable level
+        structure audit vacuously.  Returns human-readable violations;
+        empty list means healthy.
         """
         impl = self._driver.plds if self._driver is not None else self._adapter.impl
         return self._audit_impl(impl)
@@ -506,6 +520,15 @@ class CoreService:
     def _audit_impl(self, impl: Any) -> list[str]:
         if isinstance(impl, PLDS):
             problems = list(plds_invariant_violations(impl))
+            problems.extend(
+                structure_matches_edges(impl, set(self._graph.edges()))
+            )
+            return problems
+        if hasattr(impl, "check_invariants") and hasattr(impl, "edges"):
+            # Sharded coordinator (and any future engine exposing the
+            # same audit surface): per-shard invariant sweep plus
+            # edge-set agreement of the shard union with the mirror.
+            problems = list(impl.check_invariants())
             problems.extend(
                 structure_matches_edges(impl, set(self._graph.edges()))
             )
@@ -579,7 +602,9 @@ class CoreService:
         PLDS family it is the Lemma-5.13 superset filter of
         :func:`repro.static_kcore.subgraphs.approx_k_core_candidates`
         (contains every true member, may admit low-coreness extras); for
-        other approximate engines a plain ``estimate >= k`` threshold.
+        other approximate engines — including the sharded coordinator,
+        whose levels live across shards — a plain ``estimate >= k``
+        threshold on the (bit-identical) coreness estimates.
         """
         impl = self._adapter.impl
         if isinstance(impl, PLDS) and k > 0:

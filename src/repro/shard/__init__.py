@@ -1,0 +1,21 @@
+"""Sharded serving stack: partitioned PLDS + ghost replication.
+
+- :class:`~repro.shard.partition.Partitioner` — hash / degree-balanced
+  vertex ownership;
+- :class:`~repro.shard.kernel.ShardKernel` — shard-local PLDS cascade
+  kernel with ghost-level replicas;
+- :class:`~repro.shard.engine.ShardedEngine` — edge routing, ghost
+  directory, message-round cascades, coordinated rebuilds;
+- :class:`~repro.shard.coordinator.Coordinator` — the registry-facing
+  scatter-gather front (``plds-sharded``).
+
+See ``docs/architecture.md`` (sharding section) for the design and
+``docs/cost_model.md`` for the ghost-exchange depth accounting.
+"""
+
+from .coordinator import Coordinator
+from .engine import ShardedEngine
+from .kernel import ShardKernel
+from .partition import Partitioner
+
+__all__ = ["Coordinator", "Partitioner", "ShardKernel", "ShardedEngine"]

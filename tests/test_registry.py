@@ -28,10 +28,10 @@ class TestAlgorithmRegistry:
     def test_expected_keys_in_order(self):
         assert algorithm_keys() == (
             "plds", "pldsopt", "lds", "sun", "hua", "zhang",
-            "exactkcore", "approxkcore",
+            "exactkcore", "approxkcore", "plds-sharded",
         )
         assert algorithm_keys(dynamic=True) == (
-            "plds", "pldsopt", "lds", "sun", "hua", "zhang"
+            "plds", "pldsopt", "lds", "sun", "hua", "zhang", "plds-sharded"
         )
         assert algorithm_keys(parallel=False) == ("lds", "sun", "zhang")
 
@@ -54,6 +54,14 @@ class TestAlgorithmRegistry:
         assert spec.metered
         if spec.snapshot:
             assert hasattr(adapter.impl, "to_snapshot")
+        if spec.sharded:
+            assert adapter.impl.num_shards >= 1
+
+    def test_sharded_capability_metadata(self):
+        spec = algorithm_spec("plds-sharded")
+        assert spec.sharded
+        assert not algorithm_spec("plds").sharded
+        assert make_adapter("plds-sharded", n_hint=16, shards=2).impl.num_shards == 2
 
     def test_unknown_key_error_lists_valid_keys(self):
         with pytest.raises(ValueError, match="plds.*zhang"):

@@ -111,3 +111,27 @@ class TestPreprocessBatch:
     def test_batch_len(self):
         b = Batch(insertions=[(0, 1)], deletions=[(2, 3), (4, 5)])
         assert len(b) == 3
+
+    def test_equal_timestamp_tie_breaks_on_submission_order(self):
+        # Two updates for the same edge with the SAME timestamp: the one
+        # submitted later must win, deterministically, in both orders.
+        g = DynamicGraph()
+        ins = EdgeUpdate(1, 2, True, timestamp=5)
+        dele = EdgeUpdate(2, 1, False, timestamp=5)
+        assert preprocess_batch(g, [dele, ins]).insertions == [(1, 2)]
+        # insert then delete: final action deletes a non-existent edge
+        assert len(preprocess_batch(g, [ins, dele])) == 0
+
+    def test_equal_timestamp_tie_break_on_existing_edge(self):
+        g = DynamicGraph([(1, 2)])
+        ins = EdgeUpdate(1, 2, True, timestamp=3)
+        dele = EdgeUpdate(1, 2, False, timestamp=3)
+        assert preprocess_batch(g, [ins, dele]).deletions == [(1, 2)]
+        assert len(preprocess_batch(g, [dele, ins])) == 0
+
+    def test_generator_input_accepted(self):
+        g = DynamicGraph()
+        batch = preprocess_batch(
+            g, (EdgeUpdate(i, i + 1, True, timestamp=i) for i in range(3))
+        )
+        assert sorted(batch.insertions) == [(0, 1), (1, 2), (2, 3)]
