@@ -38,9 +38,11 @@ would only dilute the signal a hot-path change produces.  ``work`` /
 
 from __future__ import annotations
 
+import cProfile
 import gc
 import json
 import math
+import pstats
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
@@ -66,7 +68,7 @@ __all__ = [
 ]
 
 #: algorithms benched by default — the level structures this repo optimizes.
-DEFAULT_ALGOS = ("plds", "pldsopt", "lds")
+DEFAULT_ALGOS = ("plds", "pldsopt", "pldsflat", "pldsflatopt", "lds")
 
 #: workload keys: ``<stream-family>-<protocol>``.
 WORKLOADS = (
@@ -169,21 +171,50 @@ def _edges_for(family: str, scale: float) -> list[tuple[int, int]]:
     raise ValueError(f"unknown stream family {family!r}")
 
 
+#: hotspot rows per profiled cell (``repro bench --profile``).
+PROFILE_TOP_N = 25
+
+
+def _top_hotspots(prof: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> list[dict]:
+    """Top-``top_n`` functions by cumulative time, as JSON-ready rows."""
+    stats = pstats.Stats(prof)
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda kv: kv[1][3],
+        reverse=True,
+    )[:top_n]
+    return [
+        {
+            "function": f"{fn[0]}:{fn[1]}({fn[2]})",
+            "ncalls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        }
+        for fn, (_primcalls, ncalls, tottime, cumtime, _callers) in rows
+    ]
+
+
 def _run_workload(
     workload: str,
     algo: str,
     scale: float,
     trace: bool = False,
     shards: int = 4,
-) -> tuple[float, int, int, int, dict | None]:
+    backend: str = "simulated",
+    workers: int = 2,
+    profile: bool = False,
+) -> tuple[float, int, int, int, dict | None, list[dict] | None]:
     """Apply one workload end to end.
 
-    Returns ``(wall_s, work, depth, space, phases)``; ``phases`` is the
-    span-tree phase attribution when ``trace`` is on, else ``None``.
-    Tracing adds per-phase bookkeeping inside the timed region, so traced
-    wall numbers should only be compared against traced baselines.
-    ``shards`` parameterizes sharded keys; single-structure engines
-    ignore it.
+    Returns ``(wall_s, work, depth, space, phases, hotspots)``;
+    ``phases`` is the span-tree phase attribution when ``trace`` is on,
+    ``hotspots`` the cProfile top-:data:`PROFILE_TOP_N` cumulative table
+    when ``profile`` is on (else ``None``).  Tracing and profiling both
+    add bookkeeping inside the timed region, so their wall numbers
+    should only be compared against baselines recorded the same way.
+    ``shards`` parameterizes sharded keys; ``backend``/``workers``
+    select the execution backend of the PLDS-family engines (see
+    :func:`repro.registry.make_adapter`).
     """
     family, protocol = workload.rsplit("-", 1)
     edges = _edges_for(family, scale)
@@ -201,7 +232,9 @@ def _run_workload(
     else:
         raise ValueError(f"unknown protocol {protocol!r}")
 
-    adapter = make_adapter(algo, n_hint, shards=shards)
+    adapter = make_adapter(
+        algo, n_hint, shards=shards, backend=backend, workers=workers
+    )
     # Same GC discipline as ``timeit``: collect leftovers from the
     # previous cell, then keep the cyclic collector out of the timed
     # region so one cell's garbage cannot distort another's wall time.
@@ -209,7 +242,11 @@ def _run_workload(
     gc_was_enabled = gc.isenabled()
     gc.disable()
     phases: dict | None = None
+    hotspots: list[dict] | None = None
+    prof = cProfile.Profile() if profile else None
     try:
+        if prof is not None:
+            prof.enable()
         if trace:
             tracer = Tracer()
             with tracing(tracer):
@@ -228,10 +265,18 @@ def _run_workload(
                 adapter.update(b)
             wall = time.perf_counter() - t0
     finally:
+        if prof is not None:
+            prof.disable()
         if gc_was_enabled:
             gc.enable()
+        # Pool-backed trackers hold worker processes; release them.
+        closer = getattr(adapter.tracker, "close", None)
+        if closer is not None:
+            closer()
+    if prof is not None:
+        hotspots = _top_hotspots(prof)
     cost = adapter.cost
-    return wall, cost.work, cost.depth, adapter.space_bytes(), phases
+    return wall, cost.work, cost.depth, adapter.space_bytes(), phases, hotspots
 
 
 def run_suite(
@@ -242,15 +287,30 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     trace: bool = False,
     shards: int = 4,
+    backend: str = "simulated",
+    workers: int = 2,
+    profile_sink: dict[str, list[dict]] | None = None,
 ) -> list[PerfEntry]:
     """Run every (workload, algo) pair; wall time is the best of ``repeats``.
 
     "Best of" (rather than mean) is the standard noise-rejection choice
     for regression gating: the minimum is the least-interfered-with run.
-    Work/depth/space are identical across repeats (the substrate is
-    deterministic), so they are taken from the last run.  With ``trace``
+    Repeats are *interleaved* across a workload's algorithms (rep 1 of
+    every algo, then rep 2, ...) rather than run back-to-back per cell:
+    under drifting background load, back-to-back repeats keep one
+    algorithm's whole sample inside one load window and best-of-N
+    comparisons between algorithms become a lottery over cell ordering;
+    interleaving spans every algorithm's samples over the same windows,
+    so the floors stay comparable.  Work/depth/space are identical
+    across repeats (the substrate is deterministic), so they are taken
+    from the last run.  With ``trace``
     on, each entry additionally carries its per-phase attribution table.
-    ``shards`` parameterizes sharded algorithm keys only.
+    ``shards`` parameterizes sharded algorithm keys only;
+    ``backend``/``workers`` select the PLDS-family execution backend.
+    Passing a dict as ``profile_sink`` turns on cProfile per cell and
+    fills the dict with ``"<workload>/<algo>"`` → top cumulative
+    hotspots (profiling distorts wall time — don't gate profiled runs
+    against unprofiled baselines).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -259,22 +319,33 @@ def run_suite(
     sched = BrentScheduler()
     entries: list[PerfEntry] = []
     for workload in workloads:
-        for algo in algos:
-            best = math.inf
-            work = depth = space = 0
-            phases: dict | None = None
-            for _ in range(repeats):
-                wall, work, depth, space, phases = _run_workload(
-                    workload, algo, scale, trace=trace, shards=shards
+        best: dict[str, float] = {a: math.inf for a in algos}
+        cells: dict[str, tuple] = {}
+        for _ in range(repeats):
+            for algo in algos:
+                wall, work, depth, space, phases, hotspots = _run_workload(
+                    workload,
+                    algo,
+                    scale,
+                    trace=trace,
+                    shards=shards,
+                    backend=backend,
+                    workers=workers,
+                    profile=profile_sink is not None,
                 )
-                best = min(best, wall)
+                best[algo] = min(best[algo], wall)
+                cells[algo] = (work, depth, space, phases, hotspots)
+        for algo in algos:
+            work, depth, space, phases, hotspots = cells[algo]
+            if profile_sink is not None and hotspots is not None:
+                profile_sink[f"{workload}/{algo}"] = hotspots
             p = T_P_THREADS if algorithm_spec(algo).parallel else 1
             t_p = sched.time(Cost(work=work, depth=depth), p)
             entries.append(
                 PerfEntry(
                     workload=workload,
                     algo=algo,
-                    wall_s=round(best, 6),
+                    wall_s=round(best[algo], 6),
                     work=work,
                     depth=depth,
                     space=space,
@@ -284,7 +355,7 @@ def run_suite(
             )
             if progress is not None:
                 progress(
-                    f"{workload:13s} {algo:8s} wall={best:8.3f}s "
+                    f"{workload:13s} {algo:8s} wall={best[algo]:8.3f}s "
                     f"work={work:>12d} depth={depth:>8d}"
                 )
     return entries

@@ -331,12 +331,20 @@ def cmd_bench(args) -> int:
     # Validate the baseline before the (possibly long) suite run, not after.
     if args.baseline and not os.path.exists(args.baseline):
         raise SystemExit(f"baseline not found: {args.baseline}")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     shards = args.shards if args.shards is not None else 4
     print(
         f"perfsuite: scale={args.scale} repeats={args.repeats} "
         f"algos={','.join(algos)}"
         + (f" shards={shards}" if "plds-sharded" in algos else "")
+        + (
+            f" backend={args.backend} workers={args.workers}"
+            if args.backend != "simulated"
+            else ""
+        )
     )
+    profile_sink: dict | None = {} if args.profile else None
     entries = run_suite(
         scale=args.scale,
         algos=algos,
@@ -345,11 +353,35 @@ def cmd_bench(args) -> int:
         progress=lambda line: print(f"  {line}"),
         trace=args.trace,
         shards=shards,
+        backend=args.backend,
+        workers=args.workers,
+        profile_sink=profile_sink,
     )
     report = BenchReport(label=args.label, scale=args.scale, entries=entries)
     out_path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
     write_bench(out_path, report)
     print(f"wrote {out_path}")
+    if profile_sink is not None:
+        import json as _json
+
+        profile_path = os.path.join(
+            args.output_dir, f"PROFILE_{args.label}.json"
+        )
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            _json.dump(
+                {
+                    "format": 1,
+                    "label": args.label,
+                    "scale": args.scale,
+                    "backend": args.backend,
+                    "profiles": profile_sink,
+                },
+                fh,
+                indent=1,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {profile_path}")
 
     if not args.baseline:
         return 0
@@ -636,6 +668,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=None,
                    help="bench the sharded coordinator too (plds-sharded "
                         "with this many shards is appended to --algos)")
+    p.add_argument("--backend", choices=("simulated", "pool"),
+                   default="simulated",
+                   help="execution backend for the PLDS-family engines: "
+                        "'pool' fans read-only scans out to a process pool "
+                        "(flat engines only; others stay simulated)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --backend pool")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile every cell and write the top-25 "
+                        "cumulative hotspots to PROFILE_<label>.json "
+                        "(adds profiler overhead inside the timed region)")
     p.set_defaults(fn=cmd_bench)
 
     def add_obs_workload(p):

@@ -41,6 +41,7 @@ True
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -57,6 +58,28 @@ __all__ = ["PLDS", "UpdateResult", "DirectedEdge"]
 
 #: A directed edge (tail, head): oriented tail -> head.
 DirectedEdge = tuple[int, int]
+
+
+def _mark(buckets: dict[int, list[int]], level: int, v: int) -> None:
+    """Insert ``v`` into the sorted-unique cascade bucket for ``level``.
+
+    The rebalancing cascades keep every dirty/pending bucket as a sorted
+    list of vertex ids, so the mover lists handed to ``flat_parfor`` are
+    already in canonical order — no per-round re-sort (the buckets used
+    to be sets of records hashing by address, forcing each round to sort
+    its movers from scratch).
+    """
+    bucket = buckets.get(level)
+    if bucket is None:
+        buckets[level] = [v]
+        return
+    i = bisect_left(bucket, v)
+    if i == len(bucket) or bucket[i] != v:
+        bucket.insert(i, v)
+
+
+def _is_sorted_unique(items: list[int]) -> bool:
+    return all(items[i] < items[i + 1] for i in range(len(items) - 1))
 
 
 @dataclass
@@ -456,7 +479,7 @@ class PLDS:
         """Insert zero-degree vertices (placed at level 0)."""
         count = 0
         for v in vs:
-            if v not in self._vertices:
+            if not self._has_vertex(v):
                 count += 1
             self._record(v)
         self._vertex_updates += count
@@ -467,17 +490,16 @@ class PLDS:
         vs = set(vs)
         dels: list[tuple[int, int]] = []
         for v in vs:
-            rec = self._vertices.get(v)
-            if rec is None:
+            if not self._has_vertex(v):
                 continue
-            for w in rec.neighbors():
+            for w in self.neighbors(v):
                 e = canonical_edge(v, w)
                 if e[0] in vs and e[1] in vs and e[0] != v:
                     continue  # count each intra-set edge once
                 dels.append(e)
         result = self.update(Batch(deletions=dels))
         for v in vs:
-            if self._vertices.pop(v, None) is not None:
+            if self._drop_vertex(v):
                 self._vertex_updates += 1
         self._maybe_rebuild()
         return result
@@ -582,16 +604,13 @@ class PLDS:
         tracker = self.tracker
         vertices = self._vertices
         # Insert all edges into the structures (parallel hash inserts).
-        dirty: dict[int, set[_VertexRecord]] = {}
+        # Dirty buckets are sorted-unique id lists (see :func:`_mark`), so
+        # each round's movers come out in canonical order for free.
+        dirty: dict[int, list[int]] = {}
         tracker.add(work=2 * len(insertions), depth=self._mut_depth)
         for u, v in insertions:
             for r in self._insert_edge_struct(u, v):
-                lx = r.level
-                bucket = dirty.get(lx)
-                if bucket is None:
-                    dirty[lx] = {r}
-                else:
-                    bucket.add(r)
+                _mark(dirty, r.level, r.id)
 
         bounds = self._inv1_bound_int
         jump = self.insertion_strategy == "jump"
@@ -604,12 +623,7 @@ class PLDS:
             if len(rec.up) > bounds[rec.level]:
                 newly_marked.append(rec)
             for wrec in newly_marked:
-                lw = wrec.level
-                bucket = dirty.get(lw)
-                if bucket is None:
-                    dirty[lw] = {wrec}
-                else:
-                    bucket.add(wrec)
+                _mark(dirty, wrec.level, wrec.id)
 
         track = self.track_orientation
         touched = self._touched
@@ -640,15 +654,20 @@ class PLDS:
             bound = bounds[level]
             if jump:
                 movers = [
-                    rec.id
-                    for rec in candidates
-                    if rec.level == level and len(rec.up) > bound
+                    v
+                    for v in candidates
+                    if (rec := vertices[v]).level == level
+                    and len(rec.up) > bound
                 ]
                 if not movers:
                     if span is not None:
                         tracer.end(span)
                     continue
-                tracker.flat_parfor(sorted(movers), rise)
+                # The bucket is already sorted-unique, so the filtered
+                # mover list is in canonical order without a re-sort.
+                if __debug__:
+                    assert _is_sorted_unique(movers)
+                tracker.flat_parfor(movers, rise)
                 if span is not None:
                     span.attrs["movers"] = len(movers)
                     tracer.end(span)
@@ -670,25 +689,24 @@ class PLDS:
             # would be deduplicated by the dirty set anyway.
             crossing = bound_t + 1
             total_work = 0
-            marked_next: list[_VertexRecord] = []
+            marked_next: list[int] = []
             marked_append = marked_next.append
             moved_add = moved.add
-            # Movers are visited in the dirty bucket's iteration order,
-            # which varies across runs (records hash by address).  That is
-            # parity-safe: a mover's U-set is untouched while its own level
-            # is being processed (same-level neighbors only read it; stay
-            # moves edit the riser's sets), so each captured |U[v]| — and
-            # hence the aggregate work charge — is order-invariant, and
-            # the crossing mark fires exactly once per target neighbor no
-            # matter which riser trips it.
+            # Movers are visited in ascending-id bucket order.  Any order
+            # is parity-safe: a mover's U-set cardinality is unchanged
+            # while its own level is being processed (same-level risers
+            # re-add themselves to exactly the sets they left), so each
+            # captured |U[v]| — and hence the aggregate work charge — is
+            # order-invariant, and each target neighbor is marked exactly
+            # once (bound-crossing add, or its own move) in every order.
             if track:
-                for rec in candidates:
+                for v in candidates:
+                    rec = vertices[v]
                     if rec.level != level:
                         continue
                     up = rec.up
                     if len(up) <= bound:
                         continue
-                    v = rec.id
                     moved_add(v)
                     total_work += len(up)
                     stay = None
@@ -712,7 +730,7 @@ class PLDS:
                                 wup = wrec.up
                                 wup.add(rec)
                                 if len(wup) == crossing:
-                                    marked_append(wrec)
+                                    marked_append(wrec.id)
                                 w = wrec.id
                                 touched.add((v, w) if v <= w else (w, v))
                             else:  # lw > target: w's L-structure shifts.
@@ -730,16 +748,17 @@ class PLDS:
                             slot.update(stay)
                     rec.level = target
                     if len(up) > bound_t:
-                        marked_append(rec)
+                        marked_append(v)
             else:
                 # Same loop, minus orientation bookkeeping (the default).
-                for rec in candidates:
+                for v in candidates:
+                    rec = vertices[v]
                     if rec.level != level:
                         continue
                     up = rec.up
                     if len(up) <= bound:
                         continue
-                    moved_add(rec.id)
+                    moved_add(v)
                     total_work += len(up)
                     stay = None
                     for wrec in up:
@@ -760,7 +779,7 @@ class PLDS:
                                 wup = wrec.up
                                 wup.add(rec)
                                 if len(wup) == crossing:
-                                    marked_append(wrec)
+                                    marked_append(wrec.id)
                             else:  # lw > target: w's L-structure shifts.
                                 slot = wdown.get(target)
                                 if slot is None:
@@ -776,18 +795,23 @@ class PLDS:
                             slot.update(stay)
                     rec.level = target
                     if len(up) > bound_t:
-                        marked_append(rec)
+                        marked_append(v)
             if not total_work:
                 if span is not None:
                     tracer.end(span)
                 continue  # no mover survived the filter at this level
             tracker.add(total_work, mut_depth)
             if marked_next:
+                # Within a level iteration every vertex is marked at most
+                # once (see the order-invariance note above), so one sort
+                # yields the bucket's canonical sorted-unique form.
                 bucket = dirty.get(target)
                 if bucket is None:
-                    dirty[target] = set(marked_next)
+                    marked_next.sort()
+                    dirty[target] = marked_next
                 else:
-                    bucket.update(marked_next)
+                    for w in marked_next:
+                        _mark(dirty, target, w)
             if span is not None:
                 tracer.end(span)
 
@@ -976,7 +1000,8 @@ class PLDS:
             affected.add(v)
 
         desire: dict[int, int] = {}
-        pending: dict[int, set[int]] = {}
+        # Pending buckets are sorted-unique id lists (see :func:`_mark`).
+        pending: dict[int, list[int]] = {}
         vertices = self._vertices
         thresholds = self._inv2_thresh_int
 
@@ -990,11 +1015,7 @@ class PLDS:
             if up_star < thresholds[lvl]:
                 dl = self._calculate_desire_level(rec)
                 desire[w] = dl
-                bucket = pending.get(dl)
-                if bucket is None:
-                    pending[dl] = {w}
-                else:
-                    bucket.add(w)
+                _mark(pending, dl, w)
 
         tracker.flat_parfor(sorted(affected), consider)
 
@@ -1044,11 +1065,7 @@ class PLDS:
                 if fresh != level:
                     if fresh < rec.level:
                         desire[v] = fresh
-                        bucket = pending.get(fresh)
-                        if bucket is None:
-                            pending[fresh] = {v}
-                        else:
-                            bucket.add(v)
+                        _mark(pending, fresh, v)
                     else:
                         desire.pop(v, None)
                     return
@@ -1062,7 +1079,11 @@ class PLDS:
                         desire.pop(w, None)
                     consider(w)
 
-            tracker.flat_parfor(sorted(movers), descend)
+            # Buckets are sorted-unique, so the filtered mover list is
+            # already in canonical order — no per-round re-sort.
+            if __debug__:
+                assert _is_sorted_unique(movers)
+            tracker.flat_parfor(movers, descend)
             if span is not None:
                 span.attrs["movers"] = len(movers)
                 tracer.end(span)
@@ -1185,6 +1206,21 @@ class PLDS:
             self._vertices[v] = rec
         return rec
 
+    # The three hooks below exist so array-backed subclasses (the flat
+    # engine in :mod:`repro.core.plds_flat`) can reuse the generic
+    # vertex-update / rebuild / snapshot drivers without records.
+
+    def _has_vertex(self, v: int) -> bool:
+        return v in self._vertices
+
+    def _drop_vertex(self, v: int) -> bool:
+        """Remove an (isolated) vertex; True if it existed."""
+        return self._vertices.pop(v, None) is not None
+
+    def _restore_level(self, v: int, level: int) -> None:
+        """Create ``v`` at ``level`` (snapshot restore; no rebalancing)."""
+        self._record(v).level = level
+
     @staticmethod
     def _link_records(ru: _VertexRecord, rv: _VertexRecord) -> None:
         """Wire the edge (ru, rv) into both records' U/L structures.
@@ -1288,7 +1324,7 @@ class PLDS:
         # The hint is sized at twice the vertex count of the last rebuild,
         # so n_hint // 4 approximates the paper's "n/2 vertex updates".
         if (
-            len(self._vertices) <= self.n_hint
+            self.num_vertices <= self.n_hint
             and self._vertex_updates <= max(self.n_hint // 4, 8)
         ):
             return
@@ -1302,14 +1338,14 @@ class PLDS:
         with tracer.span(
             "plds.rebuild",
             self.tracker,
-            vertices=len(self._vertices),
+            vertices=self.num_vertices,
             edges=self._m,
         ):
             self._rebuild()
 
     def _rebuild(self) -> None:
         edges = list(self.edges())
-        vertices = list(self._vertices)
+        vertices = list(self.vertices())
         # Resize to the live vertex count (growing or shrinking), so the
         # level count K tracks the current n as Section 5.9 requires.
         new_hint = max(2, 2 * len(vertices))
@@ -1356,9 +1392,7 @@ class PLDS:
                 "insertion_strategy": self.insertion_strategy,
                 "structure": self.structure,
             },
-            "levels": sorted(
-                [v, rec.level] for v, rec in self._vertices.items()
-            ),
+            "levels": sorted([v, self.level(v)] for v in self.vertices()),
             "edges": sorted(self.edges()),
         }
 
@@ -1380,10 +1414,9 @@ class PLDS:
         for v, level in snapshot["levels"]:
             if not 0 <= level < plds.num_levels:
                 raise ValueError(f"level {level} of vertex {v} out of range")
-            rec = plds._record(v)
-            rec.level = level
+            plds._restore_level(v, level)
         for u, v in snapshot["edges"]:
-            if u not in plds._vertices or v not in plds._vertices:
+            if not plds._has_vertex(u) or not plds._has_vertex(v):
                 raise ValueError(f"edge ({u},{v}) references unknown vertex")
             plds._insert_edge_struct(u, v)
         if plds.track_orientation:

@@ -1,0 +1,362 @@
+"""Process-pool execution backend: a ``flat_parfor`` that actually fans out.
+
+:class:`PoolBackend` is a :class:`~repro.parallel.engine.WorkDepthTracker`
+whose ``flat_parfor`` dispatches *pool-capable* bodies to a
+``ProcessPoolExecutor`` instead of simulating the parallel loop inline.
+A body advertises pool capability by carrying a :class:`PoolTask`
+attribute (see :func:`attach_consider_task`); bodies without one — every
+mutating cascade step — run through the inherited simulated path
+unchanged, so the backend is a strict superset of the simulated one.
+
+Shared state travels through ``multiprocessing.shared_memory``: the flat
+engine's contiguous int32 level image (see
+:meth:`repro.core.plds_flat.PLDSFlat._level_bytes`) is
+copied into a shared segment with one ``memcpy`` per dispatch, and every
+worker maps that segment directly — per-worker access is zero-copy; no
+per-vertex state is pickled.  Workers return, per chunk, the results
+plus the metered ``(sum of works, max of depths)`` of their items; the
+main process folds those into the enclosing frame with exactly the
+composition the simulated ``flat_parfor`` uses, so metered totals are
+bit-identical between backends (gated by ``tests/test_backend.py``).
+
+Only read-only scans are pool-dispatched.  The deletion-phase
+desire-level scan (Algorithm 4 over the affected set) is the one PLDS
+phase with no structural mutations — each item reads levels and
+adjacency and emits a (desire-level, scanned) pair — which makes it
+safe to execute concurrently *and* keeps the sequential/parallel
+equivalence of the paper's Lemma 5.9 trivially intact.  Results are
+applied in the main process in canonical item order.
+
+When ``shared_memory`` (or process pools) are unavailable the backend
+falls back to the simulated path with a ``RuntimeWarning`` and an
+``engine.pool_fallback.calls`` obs counter instead of crashing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from . import engine as _engine
+from .engine import WorkDepthTracker
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8/posix
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - platforms without shm support
+    ProcessPoolExecutor = None  # type: ignore[assignment,misc]
+    get_context = None  # type: ignore[assignment]
+    _shm = None  # type: ignore[assignment]
+
+#: Patch point: tests (and exotic platforms) set this to ``None`` to
+#: exercise the fallback guard without uninstalling ``_posixshmem``.
+shared_memory = _shm
+
+T = TypeVar("T")
+
+__all__ = [
+    "PoolBackend",
+    "PoolTask",
+    "attach_consider_task",
+    "consider_chunk",
+]
+
+
+class PoolTask:
+    """How to run one ``flat_parfor`` body on worker processes.
+
+    - ``prepare(items)`` runs in the main process and returns
+      ``(ctx, cleanup)``: a picklable context shared by every chunk
+      (typically holding a shared-memory segment name) and a
+      zero-argument cleanup callback invoked after the dispatch.
+    - ``encode(item)`` turns one item into a picklable payload.
+    - ``chunk_fn(ctx, payloads)`` is an importable module-level function
+      executed on workers; it returns ``(results, work, depth)`` where
+      ``work``/``depth`` are the sum/max of the per-item charges the
+      inline body would have metered.
+    - ``apply(item, result)`` runs in the main process, in canonical
+      item order, to integrate one result.  It must not charge the
+      tracker — the fold already accounts for the full scan.
+    """
+
+    __slots__ = ("prepare", "encode", "chunk_fn", "apply")
+
+    def __init__(
+        self,
+        prepare: Callable[[Sequence[Any]], tuple[Any, Callable[[], None]]],
+        encode: Callable[[Any], Any],
+        chunk_fn: Callable[..., tuple[list[Any], int, int]],
+        apply: Callable[[Any, Any], None],
+    ) -> None:
+        self.prepare = prepare
+        self.encode = encode
+        self.chunk_fn = chunk_fn
+        self.apply = apply
+
+
+class PoolBackend(WorkDepthTracker):
+    """A tracker whose ``flat_parfor`` fans pool-capable bodies out.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (and chunk count per dispatch).
+    min_dispatch:
+        Below this many items a dispatch is not worth two IPC round
+        trips; the body runs through the inherited simulated path
+        (observationally identical, so this is purely a policy knob).
+    """
+
+    #: Marker consulted by pool-aware algorithms (e.g. the flat engine's
+    #: deletion rebalance) to decide whether building a PoolTask is
+    #: worth the closure allocations.
+    pool_tasks = True
+
+    def __init__(self, workers: int = 2, min_dispatch: int = 8) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.min_dispatch = min_dispatch
+        #: dispatches that actually reached the process pool.
+        self.dispatches = 0
+        #: dispatches that fell back to the simulated path because the
+        #: shared-memory substrate is unavailable.
+        self.fallbacks = 0
+        self._executor: Any = None
+        self._warned = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_executor(self) -> Any:
+        if self._executor is None:
+            ctx = None
+            if get_context is not None:
+                try:
+                    ctx = get_context("fork")
+                except ValueError:  # pragma: no cover - non-posix
+                    ctx = None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "PoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution -----------------------------------------------------
+
+    def _note_fallback(self) -> None:
+        self.fallbacks += 1
+        hook = _engine._OBS_HOOK
+        if hook is not None:
+            hook("engine.pool_fallback")
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                "multiprocessing.shared_memory unavailable; PoolBackend is "
+                "falling back to the simulated execution path",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def flat_parfor(
+        self, items: Iterable[T], body: Callable[[T], None]
+    ) -> None:
+        task: PoolTask | None = getattr(body, "pool_task", None)
+        if task is not None:
+            seq = list(items)
+            if len(seq) >= self.min_dispatch:
+                if shared_memory is None or ProcessPoolExecutor is None:
+                    self._note_fallback()
+                else:
+                    self._dispatch(seq, task)
+                    return
+            items = seq
+        super().flat_parfor(items, body)
+
+    def _dispatch(self, items: Sequence[T], task: PoolTask) -> None:
+        # Same observable protocol as the simulated flat_parfor: the
+        # engine.parfor hooks fire exactly once per parallel loop, and
+        # the fold into the enclosing frame is (sum of per-item works,
+        # max of per-item depths).
+        fault_hook = _engine._FAULT_HOOK
+        if fault_hook is not None:
+            fault_hook("engine.parfor")
+        obs_hook = _engine._OBS_HOOK
+        if obs_hook is not None:
+            obs_hook("engine.parfor")
+        ctx, cleanup = task.prepare(items)
+        try:
+            payloads = [task.encode(item) for item in items]
+            n_chunks = min(self.workers, len(payloads))
+            size = -(-len(payloads) // n_chunks)  # ceil division
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(task.chunk_fn, ctx, payloads[i : i + size])
+                for i in range(0, len(payloads), size)
+            ]
+            total_work = 0
+            max_depth = 0
+            chunk_results: list[list[Any]] = []
+            for future in futures:  # deterministic chunk order
+                results, work, depth = future.result()
+                total_work += work
+                if depth > max_depth:
+                    max_depth = depth
+                chunk_results.append(results)
+        finally:
+            cleanup()
+        self.dispatches += 1
+        index = 0
+        for results in chunk_results:
+            for result in results:
+                task.apply(items[index], result)
+                index += 1
+        self.add(total_work, max_depth)
+
+
+# ----------------------------------------------------------------------
+# The consider-scan task (Algorithm 4 over the affected set)
+# ----------------------------------------------------------------------
+
+
+def consider_chunk(
+    ctx: tuple[str, int, list[int], int],
+    payloads: list[tuple[int, list[int]]],
+) -> tuple[list[tuple[int, int] | None], int, int]:
+    """Worker-side kernel for the deletion-phase desire-level scan.
+
+    ``ctx`` is ``(segment name, live slot count, Invariant-2 integer
+    thresholds, depth charge per scan)``; each payload is ``(slot,
+    neighbor slots)``.  Levels are read straight out of the shared
+    segment.  Per item the kernel replicates the inline body exactly:
+    nothing for level-0 or non-violating vertices, otherwise the
+    Algorithm-4 downward scan returning ``(desire level, scanned)`` and
+    charging ``(scanned, levels_depth)``.
+    """
+    name, n, thresholds, levels_depth = ctx
+    # Attaching re-registers the segment with the resource tracker; the
+    # tracker process is shared with the owner (fork) and its cache is a
+    # set, so the duplicate collapses and the owner's unlink() is the
+    # single deregistration.
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        levels = memoryview(segment.buf)[: 4 * n].cast("i")
+        results: list[tuple[int, int] | None] = []
+        total_work = 0
+        max_depth = 0
+        for slot, nbrs in payloads:
+            lvl = levels[slot]
+            if lvl == 0:
+                results.append(None)
+                continue
+            # Histogram the neighbor levels; the up/down split of the
+            # flat structures is exactly the level rule, so bucket sizes
+            # are recoverable from levels alone.
+            len_up = 0
+            counts: dict[int, int] = {}
+            for j in nbrs:
+                lw = levels[j]
+                if lw >= lvl:
+                    len_up += 1
+                else:
+                    counts[lw] = counts.get(lw, 0) + 1
+            up_star = len_up + counts.get(lvl - 1, 0)
+            if up_star >= thresholds[lvl]:
+                results.append(None)
+                continue
+            cnt = len_up
+            scanned = 1
+            best = 0
+            counts_get = counts.get
+            for lprime in range(lvl, 0, -1):
+                c = counts_get(lprime - 1, 0)
+                if c:
+                    cnt += c
+                scanned += 1
+                if cnt >= thresholds[lprime]:
+                    best = lprime
+                    break
+            results.append((best, scanned))
+            total_work += scanned
+            if levels_depth > max_depth:
+                max_depth = levels_depth
+        levels.release()
+        return results, total_work, max_depth
+    finally:
+        segment.close()
+
+
+def attach_consider_task(
+    plds: Any,
+    body: Callable[[int], None],
+    desire: Any,
+    pending: dict[int, list[int]],
+) -> None:
+    """Attach a :class:`PoolTask` for the consider scan to ``body``.
+
+    ``plds`` is a :class:`~repro.core.plds_flat.PLDSFlat`; ``desire`` is
+    its per-batch desire array and ``pending`` the cascade buckets.  The
+    task ships the live level array through shared memory, has workers
+    run :func:`consider_chunk`, and applies results (desire assignment +
+    pending marks) in canonical order — byte-for-byte the effect of the
+    inline body.
+    """
+    from ..core.plds import _mark
+
+    slot_of = plds._slot_of
+    ups = plds._up
+    downs = plds._down
+
+    def prepare(items: Sequence[int]) -> tuple[Any, Callable[[], None]]:
+        n = plds._n
+        nbytes = 4 * n
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        segment.buf[:nbytes] = plds._level_bytes()
+        ctx = (
+            segment.name,
+            n,
+            list(plds._inv2_thresh_int),
+            plds._levels_depth,
+        )
+
+        def cleanup() -> None:
+            segment.close()
+            segment.unlink()
+
+        return ctx, cleanup
+
+    def encode(w: int) -> tuple[int, list[int]]:
+        i = slot_of[w]
+        nbrs = list(ups[i])
+        for bucket in downs[i].values():
+            nbrs.extend(bucket)
+        return i, nbrs
+
+    def apply(w: int, result: tuple[int, int] | None) -> None:
+        if result is None:
+            return
+        dl, _scanned = result
+        desire[slot_of[w]] = dl
+        _mark(pending, dl, w)
+
+    body.pool_task = PoolTask(  # type: ignore[attr-defined]
+        prepare, encode, consider_chunk, apply
+    )

@@ -23,7 +23,7 @@ Example
 -------
 >>> from repro.registry import algorithm_keys, make_adapter
 >>> algorithm_keys(dynamic=True)
-('plds', 'pldsopt', 'lds', 'sun', 'hua', 'zhang', 'plds-sharded')
+('plds', 'pldsopt', 'pldsflat', 'pldsflatopt', 'lds', 'sun', 'hua', 'zhang', 'plds-sharded')
 >>> make_adapter("plds", n_hint=100).key
 'plds'
 """
@@ -38,6 +38,7 @@ from .baselines.sun import SunApproxDynamic
 from .baselines.zhang import ZhangExactDynamic
 from .core.lds import LDS
 from .core.plds import PLDS
+from .core.plds_flat import PLDSFlat
 from .graphs.streams import Batch
 from .obs import tracing as _tracing
 from .parallel.engine import Cost, WorkDepthTracker
@@ -277,12 +278,20 @@ def make_adapter(
     group_shrink_opt: int = 50,
     shards: int = 4,
     partition: str = "hash",
+    backend: str = "simulated",
+    workers: int = 2,
 ) -> DynamicKCoreAdapter:
     """Build the adapter for one algorithm key with paper-default params.
 
     ``shards``/``partition`` only affect sharded keys (``plds-sharded``);
-    the single-structure engines ignore them.
+    the single-structure engines ignore them.  ``backend`` selects the
+    execution backend of the PLDS-family engines: ``"simulated"`` (the
+    metered sequential simulation) or ``"pool"`` (a
+    :class:`~repro.parallel.pool.PoolBackend` fanning pool-capable scans
+    out to ``workers`` processes; only the flat engines dispatch).
     """
+    if backend not in ("simulated", "pool"):
+        raise ValueError("backend must be 'simulated' or 'pool'")
     params: dict[str, Any] = {
         "delta": delta,
         "lam": lam,
@@ -293,6 +302,8 @@ def make_adapter(
         "group_shrink_opt": group_shrink_opt,
         "shards": shards,
         "partition": partition,
+        "backend": backend,
+        "workers": workers,
     }
     return algorithm_spec(key).factory(n_hint, params)
 
@@ -319,18 +330,29 @@ def rebuild_adapter(
 # -- built-in algorithm entries (the one table) ------------------------
 
 
-def _plds_factory(group_shrink_from: str | None) -> AdapterFactory:
+def _make_tracker(p: Mapping[str, Any]) -> WorkDepthTracker:
+    if p.get("backend", "simulated") == "pool":
+        from .parallel.pool import PoolBackend
+
+        return PoolBackend(workers=int(p.get("workers", 2)))
+    return WorkDepthTracker()
+
+
+def _plds_factory(
+    key: str, group_shrink_from: str | None, flat: bool = False
+) -> AdapterFactory:
     def build(n_hint: int, p: Mapping[str, Any]) -> DynamicKCoreAdapter:
         shrink = 1 if group_shrink_from is None else int(p[group_shrink_from])
-        key = "plds" if group_shrink_from is None else "pldsopt"
+        cls = PLDSFlat if flat else PLDS
         return DynamicKCoreAdapter(
             key,
-            PLDS(
+            cls(
                 n_hint,
                 delta=p["delta"],
                 lam=p["lam"],
                 group_shrink=shrink,
                 upper_coeff=p["upper_coeff"],
+                tracker=_make_tracker(p),
             ),
             False,
         )
@@ -383,13 +405,25 @@ def _static_factory(kind: str) -> AdapterFactory:
 register_algorithm(AlgorithmSpec(
     key="plds",
     summary="PLDS, the paper's parallel level data structure (Section 5)",
-    factory=_plds_factory(None),
+    factory=_plds_factory("plds", None),
     exact=False, parallel=True, snapshot=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="pldsopt",
     summary="PLDS with group_shrink=50, the practical variant (Section 6.1)",
-    factory=_plds_factory("group_shrink_opt"),
+    factory=_plds_factory("pldsopt", "group_shrink_opt"),
+    exact=False, parallel=True, snapshot=True,
+))
+register_algorithm(AlgorithmSpec(
+    key="pldsflat",
+    summary="flat array-backed PLDS, bit-identical to plds (GBBS layout)",
+    factory=_plds_factory("pldsflat", None, flat=True),
+    exact=False, parallel=True, snapshot=True,
+))
+register_algorithm(AlgorithmSpec(
+    key="pldsflatopt",
+    summary="flat array-backed PLDS with group_shrink=50 (pldsopt twin)",
+    factory=_plds_factory("pldsflatopt", "group_shrink_opt", flat=True),
     exact=False, parallel=True, snapshot=True,
 ))
 register_algorithm(AlgorithmSpec(

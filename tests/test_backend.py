@@ -1,0 +1,164 @@
+"""Determinism goldens for the process-pool execution backend.
+
+The contract (ISSUE 6 / docs/cost_model.md "Choosing an execution
+backend"): :class:`repro.parallel.pool.PoolBackend` is observationally
+identical to the simulated :class:`~repro.parallel.engine.
+WorkDepthTracker` — same coreness estimates AND bit-identical metered
+(work, depth) — while actually fanning the deletion-phase consider scan
+out to worker processes over a shared-memory level image.  These tests
+pin that equivalence across seeds, under seeded fault injection, and
+through the degraded no-shared-memory fallback path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.plds import PLDS
+from repro.core.plds_flat import PLDSFlat
+from repro.faults import FaultPlan, FaultPoint, InjectedFault
+from repro.obs.metrics import collecting
+from repro.parallel import pool as poolmod
+from repro.parallel.pool import PoolBackend
+from repro.registry import make_adapter
+from repro.service import CoreService
+
+from .test_golden_parity import _N_HINT, _stream
+
+pytestmark = pytest.mark.backend
+
+SEEDS = (1234, 7, 99)
+
+
+def _run_flat(tracker=None, seed: int = 1234, **kwargs) -> PLDSFlat:
+    plds = PLDSFlat(n_hint=_N_HINT, tracker=tracker, **kwargs)
+    for batch in _stream(seed=seed):
+        plds.update(batch)
+    return plds
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_matches_serial(self, seed: int) -> None:
+        """Pool-backend coreness and metered totals are bit-identical to
+        the simulated backend (and hence to the record engine)."""
+        serial = _run_flat(seed=seed, group_shrink=50)
+        with PoolBackend(workers=2) as pool:
+            parallel = _run_flat(tracker=pool, seed=seed, group_shrink=50)
+            assert pool.dispatches > 0, "pool backend never dispatched"
+            assert pool.fallbacks == 0
+        record = PLDS(n_hint=_N_HINT, group_shrink=50)
+        for batch in _stream(seed=seed):
+            record.update(batch)
+        assert parallel.coreness_estimates() == serial.coreness_estimates()
+        assert parallel.coreness_estimates() == record.coreness_estimates()
+        assert (parallel.tracker.work, parallel.tracker.depth) == (
+            serial.tracker.work,
+            serial.tracker.depth,
+        )
+        assert (parallel.tracker.work, parallel.tracker.depth) == (
+            record.tracker.work,
+            record.tracker.depth,
+        )
+
+    def test_parallel_matches_serial_under_seeded_fault(self) -> None:
+        """Both backends fire the engine.parfor fault site in the same
+        sequence: the same seeded plan trips at the same update, and the
+        partially applied state is still bit-identical."""
+
+        def run(tracker) -> tuple[int, PLDSFlat, FaultPlan]:
+            plan = FaultPlan([FaultPoint("engine.parfor", 10)])
+            plds = PLDSFlat(n_hint=_N_HINT, tracker=tracker, group_shrink=50)
+            with faults.active(plan):
+                for i, batch in enumerate(_stream()):
+                    try:
+                        plds.update(batch)
+                    except InjectedFault:
+                        assert plan.fired == [FaultPoint("engine.parfor", 10)]
+                        return i, plds, plan
+            pytest.fail("fault plan never fired")
+
+        serial_at, serial, _ = run(None)
+        with PoolBackend(workers=2) as pool:
+            parallel_at, parallel, _ = run(pool)
+        assert parallel_at == serial_at, "fault tripped at different updates"
+        assert parallel.coreness_estimates() == serial.coreness_estimates()
+        assert (parallel.tracker.work, parallel.tracker.depth) == (
+            serial.tracker.work,
+            serial.tracker.depth,
+        )
+
+
+class TestFallbackGuard:
+    def test_fallback_warns_counts_and_stays_identical(self, monkeypatch) -> None:
+        serial = _run_flat(group_shrink=50)
+        monkeypatch.setattr(poolmod, "shared_memory", None)
+        with collecting() as reg, PoolBackend(workers=2) as pool:
+            with pytest.warns(RuntimeWarning, match="shared_memory unavailable"):
+                degraded = _run_flat(tracker=pool, group_shrink=50)
+            assert pool.dispatches == 0
+            assert pool.fallbacks > 0
+            assert (
+                reg.counter_value("engine.pool_fallback.calls")
+                == pool.fallbacks
+            )
+        assert degraded.coreness_estimates() == serial.coreness_estimates()
+        assert (degraded.tracker.work, degraded.tracker.depth) == (
+            serial.tracker.work,
+            serial.tracker.depth,
+        )
+
+    def test_warning_emitted_once(self, monkeypatch) -> None:
+        monkeypatch.setattr(poolmod, "shared_memory", None)
+        import warnings as _warnings
+
+        with PoolBackend(workers=2) as pool:
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                _run_flat(tracker=pool, group_shrink=50)
+            runtime = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+            assert len(runtime) == 1
+            assert pool.fallbacks > 1
+
+
+class TestBackendSelection:
+    def test_registry_backend_option(self) -> None:
+        sim = make_adapter("pldsflatopt", _N_HINT)
+        par = make_adapter("pldsflatopt", _N_HINT, backend="pool", workers=2)
+        try:
+            for batch in _stream():
+                sim.update(batch)
+                par.update(batch)
+            assert par.estimates() == sim.estimates()
+            assert (par.cost.work, par.cost.depth) == (
+                sim.cost.work,
+                sim.cost.depth,
+            )
+            assert par.tracker.dispatches > 0
+        finally:
+            par.tracker.close()
+
+    def test_registry_rejects_unknown_backend(self) -> None:
+        with pytest.raises(ValueError, match="backend"):
+            make_adapter("pldsflatopt", _N_HINT, backend="gpu")
+
+    def test_core_service_engine_option(self) -> None:
+        svc = CoreService(
+            "pldsflatopt", n_hint=_N_HINT, backend="pool", workers=2
+        )
+        twin = CoreService("pldsflatopt", n_hint=_N_HINT)
+        try:
+            for batch in _stream():
+                svc.apply_batch(batch)
+                twin.apply_batch(batch)
+            assert svc.coreness_map() == twin.coreness_map()
+            assert svc._adapter.tracker.dispatches > 0
+        finally:
+            svc._adapter.tracker.close()
+
+    def test_pool_backend_rejects_bad_workers(self) -> None:
+        with pytest.raises(ValueError, match="workers"):
+            PoolBackend(workers=0)
