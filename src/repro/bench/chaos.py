@@ -28,7 +28,7 @@ Barabási–Albert graph — deletions are required to make the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 from .. import faults
 from ..graphs.generators import barabasi_albert
@@ -40,9 +40,86 @@ from ..service import AuditPolicy, CoreService, RetryPolicy
 __all__ = [
     "ChaosReport",
     "ChaosTrial",
+    "ReadProbe",
+    "ReadProbePlan",
     "chaos_workload",
+    "probe_consistent",
     "run_chaos",
 ]
+
+
+@dataclass(frozen=True)
+class ReadProbe:
+    """One wait-free read taken *at a faultpoint* of a chaos run.
+
+    ``estimates`` is the published epoch's (immutable) coreness mapping —
+    held by reference, which is exactly what the copy-on-write publication
+    protocol makes safe: a published epoch is never mutated again.
+    """
+
+    site: str
+    epoch: int
+    batches_applied: int
+    staleness: int
+    degraded: bool
+    estimates: Mapping[int, float]
+
+
+class ReadProbePlan(faults.FaultPlan):
+    """A :class:`~repro.faults.FaultPlan` that reads at every faultpoint.
+
+    Each traversal of any fault site first issues a wait-free read
+    through the service's :meth:`~repro.service.CoreService.reader`
+    handle — recording the served epoch, its staleness, and the full
+    coreness mapping — and only then defers to the base plan (so an
+    armed point still fires).  Because the sites sit *inside* the apply
+    path (mid-cascade, mid-rollback, mid-rebuild), the recorded probes
+    are reads interleaved at every crash point of the run; checking each
+    against the matching batch-prefix reference map is the
+    linearizability argument for the read path.
+    """
+
+    def __init__(self, points: Iterable[faults.FaultPoint] = ()) -> None:
+        super().__init__(points)
+        self.reader = None
+        self.probes: list[ReadProbe] = []
+
+    def bind(self, service) -> None:
+        """Attach the service whose published epochs the probes read."""
+        self.reader = service.reader()
+
+    def hit(self, site: str) -> None:
+        reader = self.reader
+        if reader is not None:
+            view = reader.view
+            self.probes.append(
+                ReadProbe(
+                    site=site,
+                    epoch=view.epoch,
+                    batches_applied=view.batches_applied,
+                    staleness=reader.staleness,
+                    degraded=reader.degraded,
+                    estimates=view.estimates,
+                )
+            )
+        super().hit(site)
+
+
+def probe_consistent(
+    probe: ReadProbe, references: Sequence[Mapping[int, float]]
+) -> bool:
+    """Is one probed read prefix-consistent and within the staleness bound?
+
+    ``references[k]`` must be the coreness map of a fault-free serial run
+    after its first ``k`` batches.  A probe passes iff it served exactly
+    the committed-prefix state it claims (``references[batches_applied]``)
+    and trailed the write head by at most the one in-flight batch.
+    """
+    return (
+        probe.staleness <= 1
+        and probe.batches_applied < len(references)
+        and dict(probe.estimates) == references[probe.batches_applied]
+    )
 
 
 @dataclass(frozen=True)
@@ -62,11 +139,22 @@ class ChaosTrial:
     #: back or degraded during this trial — the recovery story, serialized
     #: through the one telemetry path.
     recovery_telemetry: tuple[dict, ...] = ()
+    #: wait-free reads issued at faultpoints (``--trace`` runs only) and
+    #: how many matched their committed-prefix reference within the
+    #: one-batch staleness bound.
+    reads_probed: int = 0
+    reads_consistent: int = 0
+    max_read_staleness: int = 0
 
     @property
     def ok(self) -> bool:
         """Did the fault fire *and* the service recover bit-identically?"""
-        return self.fired and self.parity and self.error is None
+        return (
+            self.fired
+            and self.parity
+            and self.error is None
+            and self.reads_consistent == self.reads_probed
+        )
 
     def to_json_dict(self) -> dict:
         return {
@@ -81,6 +169,9 @@ class ChaosTrial:
             "error": self.error,
             "ok": self.ok,
             "recovery_telemetry": list(self.recovery_telemetry),
+            "reads_probed": self.reads_probed,
+            "reads_consistent": self.reads_consistent,
+            "max_read_staleness": self.max_read_staleness,
         }
 
 
@@ -155,6 +246,7 @@ def _serve(
     algorithm: str,
     n_hint: int,
     plan: faults.FaultPlan | None,
+    on_commit=None,
 ) -> CoreService:
     service = CoreService(
         algorithm,
@@ -165,7 +257,12 @@ def _serve(
     if plan is None:
         for batch in batches:
             service.apply_batch(batch)
+            if on_commit is not None:
+                on_commit(service)
         return service
+    bind = getattr(plan, "bind", None)
+    if bind is not None:
+        bind(service)
     with faults.active(plan):
         for batch in batches:
             service.apply_batch(batch)
@@ -190,7 +287,13 @@ def run_chaos(
     forest lands in :attr:`ChaosReport.trace`) and the whole experiment —
     baseline plus trials — under one metrics registry
     (:attr:`ChaosReport.metrics`), so faultpoint fires and service
-    retries/rollbacks are visible in the report.
+    retries/rollbacks are visible in the report.  ``trace`` also arms the
+    readers: the baseline run records the coreness map after every batch
+    prefix, each trial's fault plan is upgraded to a
+    :class:`ReadProbePlan` that issues a wait-free read at every
+    faultpoint traversal, and every probed read is checked against its
+    committed-prefix reference (see :func:`probe_consistent`) — the
+    linearizability check the mvcc test suite pins.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -201,10 +304,15 @@ def run_chaos(
 
     registry = MetricsRegistry() if trace else None
     trace_dicts: tuple[dict, ...] = ()
+    references: list[dict] | None = None
     if trace:
+        references = [{}]  # prefix 0: no batches applied yet
+        record = lambda svc: references.append(dict(svc.coreness_map()))  # noqa: E731
         tracer = Tracer()
         with collecting(registry), tracing(tracer):
-            baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
+            baseline = _serve(
+                batches, algorithm, n_hint, None, on_commit=record
+            ).coreness_map()
         trace_dicts = tuple(s.to_dict() for s in tracer.roots)
     else:
         baseline = _serve(batches, algorithm, n_hint, None).coreness_map()
@@ -217,6 +325,8 @@ def run_chaos(
     results: list[ChaosTrial] = []
     for i in range(trials):
         plan = faults.random_plan(seed + i, census.counts)
+        if references is not None:
+            plan = ReadProbePlan(plan.points)
         point = plan.points[0]
         error: str | None = None
         service: CoreService | None = None
@@ -228,6 +338,7 @@ def run_chaos(
                 service = _serve(batches, algorithm, n_hint, plan)
         except Exception as exc:  # recovery failed: the finding we hunt
             error = f"{type(exc).__name__}: {exc}"
+        probes = getattr(plan, "probes", ())
         results.append(
             ChaosTrial(
                 seed=seed + i,
@@ -254,6 +365,15 @@ def run_chaos(
                     t.to_dict()
                     for t in (service.telemetry if service is not None else ())
                     if t.rolled_back or t.degraded
+                ),
+                reads_probed=len(probes),
+                reads_consistent=sum(
+                    1
+                    for p in probes
+                    if probe_consistent(p, references or [])
+                ),
+                max_read_staleness=max(
+                    (p.staleness for p in probes), default=0
                 ),
             )
         )

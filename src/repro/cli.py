@@ -267,25 +267,45 @@ def cmd_service(args) -> int:
     name, edges = _load_edges(args)
     batch = args.batch_size or max(1, len(edges) // 4)
     svc = CoreService(args.algorithm, n_hint=_n_hint(edges), threads=args.threads)
+    reader = svc.reader()
     print(
         f"{name}: serving {len(edges)} edges | algorithm={args.algorithm} "
         f"batch={batch} threads={args.threads}"
     )
     print(f"{'batch':>5s} {'+ins':>6s} {'-del':>6s} {'work':>10s} {'depth':>8s} "
-          f"{'wall ms':>9s} {'T_p':>10s}")
+          f"{'wall ms':>9s} {'T_p':>10s} {'epoch':>6s}")
     batches = insertion_batches(edges, batch, seed=0)
     if args.max_batches is not None:
         batches = batches[: args.max_batches]
+
+    def served(query, result):
+        # Each read reports which committed epoch answered it and how many
+        # batches it trails the write head; --stale-ok turns the bound into
+        # a hard failure (ValueError -> exit 2 with file:line in main()).
+        if args.stale_ok is not None and result.staleness > args.stale_ok:
+            raise ValueError(
+                f"{query} served at epoch {result.epoch} is "
+                f"{result.staleness} batch(es) behind head; --stale-ok "
+                f"allows {args.stale_ok}"
+            )
+        flag = " [degraded]" if result.degraded else ""
+        print(f"  {query:<18s}: epoch {result.epoch} "
+              f"staleness {result.staleness}{flag}")
+        return result.value
+
     snap = None
     for i, b in enumerate(batches):
         t = svc.apply_batch(b)
         print(
             f"{t.batch_id:5d} {t.insertions:6d} {t.deletions:6d} {t.work:10d} "
-            f"{t.depth:8d} {t.wall_seconds * 1e3:9.2f} {t.t_p:10.0f}"
+            f"{t.depth:8d} {t.wall_seconds * 1e3:9.2f} {t.t_p:10.0f} "
+            f"{t.read_epoch:6d}"
         )
         if i == len(batches) // 2:
             snap = svc.snapshot()
-    top = max(svc.coreness_map().items(), key=lambda kv: kv[1], default=(0, 0.0))
+    cmap = served("coreness_map", reader.coreness_map())
+    top = max(cmap.items(), key=lambda kv: kv[1], default=(0, 0.0))
+    served("coreness", reader.coreness(top[0]))
     print(f"  busiest vertex    : {top[0]} (estimate {top[1]:.2f})")
     if snap is not None:
         print(
@@ -441,14 +461,19 @@ def cmd_chaos(args) -> int:
     )
     print("  fault-site census : "
           + " ".join(f"{s}={c}" for s, c in report.census.items()))
+    reads = "" if not args.trace else f" {'reads':>9s} {'stale':>5s}"
     print(f"{'trial':>5s} {'site':18s} {'hit':>4s} {'fired':>5s} "
-          f"{'rolled':>6s} {'parity':>6s}")
+          f"{'rolled':>6s} {'parity':>6s}" + reads)
     for t in report.trials:
         flag = "" if t.ok else ("  " + (t.error or "PARITY MISMATCH"))
+        reads = "" if not args.trace else (
+            f" {t.reads_consistent:4d}/{t.reads_probed:<4d} "
+            f"{t.max_read_staleness:5d}"
+        )
         print(
             f"{t.seed:5d} {t.site:18s} {t.hit_number:4d} "
             f"{str(t.fired):>5s} {t.rolled_back_batches:6d} "
-            f"{str(t.parity):>6s}{flag}"
+            f"{str(t.parity):>6s}" + reads + flag
         )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -619,6 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=algorithm_keys(), default="pldsopt")
     p.add_argument("--threads", type=int, default=60,
                    help="processor count for the simulated T_p telemetry")
+    p.add_argument("--stale-ok", type=int, default=None, metavar="N",
+                   help="fail (exit 2) if any read is served more than N "
+                        "batches behind the write head")
     p.set_defaults(fn=cmd_service)
 
     p = sub.add_parser(

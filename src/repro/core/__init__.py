@@ -14,9 +14,13 @@ from .orientation import (
     out_degrees,
 )
 from .plds import PLDS, DirectedEdge, UpdateResult
+from .query import CorenessQueries, EpochSnapshot, QueryView
 
 __all__ = [
     "PLDS",
+    "CorenessQueries",
+    "EpochSnapshot",
+    "QueryView",
     "charikar_peel",
     "densest_subgraph_estimate",
     "LDS",

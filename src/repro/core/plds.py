@@ -53,6 +53,7 @@ from ..graphs.streams import Batch
 from ..parallel.engine import WorkDepthTracker
 from ..parallel.hashtable import LOG_STAR_DEPTH
 from ..parallel.primitives import log2_ceil
+from .query import QueryView
 
 __all__ = ["PLDS", "UpdateResult", "DirectedEdge"]
 
@@ -159,7 +160,7 @@ class _VertexRecord:
                 yield r.id
 
 
-class PLDS:
+class PLDS(QueryView):
     """Batch-dynamic ``(2+ε)``-approximate k-core decomposition.
 
     Parameters
@@ -378,31 +379,17 @@ class PLDS:
     # ------------------------------------------------------------------
     # Coreness estimation (Definition 5.11)
     # ------------------------------------------------------------------
+    # coreness_estimate / coreness_estimates / core_members /
+    # core_subgraph / densest_estimate come from the shared
+    # :class:`~repro.core.query.QueryView` over the two hooks below.
 
-    def coreness_estimate(self, v: int) -> float:
-        """``k̂(v) = (1+δ)^{max(⌊(ℓ(v)+1)/levels_per_group⌋ - 1, 0)}``.
+    def _level_items(self) -> Iterator[tuple[int, int, int]]:
+        for v, rec in self._vertices.items():
+            yield v, rec.level, rec.deg
 
-        Degree-0 vertices (necessarily at level 0) estimate 0, matching the
-        paper's experimental convention (Section 6.2).
-        """
+    def _level_deg_of(self, v: int) -> tuple[int, int] | None:
         rec = self._vertices.get(v)
-        if rec is None or rec.deg == 0:
-            return 0.0
-        exponent = max((rec.level + 1) // self.levels_per_group - 1, 0)
-        return self._group_pow[exponent]
-
-    def coreness_estimates(self) -> dict[int, float]:
-        """Estimates for every vertex the structure has seen."""
-        lpg = self.levels_per_group
-        pow_table = self._group_pow
-        return {
-            v: (
-                0.0
-                if rec.deg == 0
-                else pow_table[max((rec.level + 1) // lpg - 1, 0)]
-            )
-            for v, rec in self._vertices.items()
-        }
+        return (rec.level, rec.deg) if rec is not None else None
 
     def approximation_factor(self) -> float:
         """The provable max error ratio ``(2+3/λ)(1+δ)`` (Lemma 5.13).
@@ -484,6 +471,7 @@ class PLDS:
             self._record(v)
         self._vertex_updates += count
         self._maybe_rebuild()
+        self._levels_reshaped = True
 
     def delete_vertices(self, vs: Iterable[int]) -> UpdateResult:
         """Delete vertices: all incident edges become one deletion batch."""
@@ -502,6 +490,7 @@ class PLDS:
             if self._drop_vertex(v):
                 self._vertex_updates += 1
         self._maybe_rebuild()
+        self._levels_reshaped = True
         return result
 
     # ------------------------------------------------------------------
@@ -526,14 +515,24 @@ class PLDS:
         """
         tracer = _tracing.ACTIVE
         if tracer is None:
-            return self._apply_batch(batch)
-        with tracer.span(
-            self._SPAN_NAME,
-            self.tracker,
-            insertions=len(batch.insertions),
-            deletions=len(batch.deletions),
-        ):
-            return self._apply_batch(batch)
+            result = self._apply_batch(batch)
+        else:
+            with tracer.span(
+                self._SPAN_NAME,
+                self.tracker,
+                insertions=len(batch.insertions),
+                deletions=len(batch.deletions),
+            ):
+                result = self._apply_batch(batch)
+        # Incremental-publication bookkeeping (repro.core.query): a
+        # rebuild re-levels every vertex, so batch moves alone no longer
+        # bound what changed — fall back to the full-publish sentinel.
+        if self._levels_reshaped:
+            self.last_moved = None
+            self._levels_reshaped = False
+        else:
+            self.last_moved = result.moved_vertices
+        return result
 
     def _apply_batch(self, batch: Batch) -> UpdateResult:
         self._validate_batch(batch)
@@ -1368,6 +1367,10 @@ class PLDS:
             self._record(v)
         if edges:
             self.update(Batch(insertions=edges))
+        # Set AFTER the replay update above, so the outer update() (when
+        # the rebuild fired from _maybe_rebuild mid-batch) reports
+        # last_moved=None rather than just the replay's movers.
+        self._levels_reshaped = True
 
     # ------------------------------------------------------------------
     # Snapshots (persistence for long-running monitors)

@@ -256,26 +256,19 @@ class PLDSFlat(PLDS):
     # ------------------------------------------------------------------
     # Coreness estimation
     # ------------------------------------------------------------------
+    # The shared QueryView surface (coreness_estimate, core_members,
+    # densest_estimate, ...) reads the flat arrays through these hooks.
 
-    def coreness_estimate(self, v: int) -> float:
-        i = self._slot_of.get(v)
-        if i is None or self._deg[i] == 0:
-            return 0.0
-        exponent = max((self._lv[i] + 1) // self.levels_per_group - 1, 0)
-        return self._group_pow[exponent]
-
-    def coreness_estimates(self) -> dict[int, float]:
-        lpg = self.levels_per_group
-        pow_table = self._group_pow
+    def _level_items(self) -> Iterator[tuple[int, int, int]]:
         lv = self._lv
         deg = self._deg
         vid = self._vid
-        return {
-            vid[i]: (
-                0.0 if deg[i] == 0 else pow_table[max((lv[i] + 1) // lpg - 1, 0)]
-            )
-            for i in range(self._n)
-        }
+        for i in range(self._n):
+            yield vid[i], lv[i], deg[i]
+
+    def _level_deg_of(self, v: int) -> tuple[int, int] | None:
+        i = self._slot_of.get(v)
+        return (self._lv[i], self._deg[i]) if i is not None else None
 
     # ------------------------------------------------------------------
     # Orientation queries

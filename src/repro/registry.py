@@ -21,11 +21,13 @@ accepts the new key with no further wiring.
 
 Example
 -------
->>> from repro.registry import algorithm_keys, make_adapter
+>>> from repro.registry import algorithm_keys, make_adapter, algorithm_spec
 >>> algorithm_keys(dynamic=True)
 ('plds', 'pldsopt', 'pldsflat', 'pldsflatopt', 'lds', 'sun', 'hua', 'zhang', 'plds-sharded')
 >>> make_adapter("plds", n_hint=100).key
 'plds'
+>>> sorted(k for k in algorithm_keys() if algorithm_spec(k).async_reads)
+['lds', 'plds', 'plds-sharded', 'pldsflat', 'pldsflatopt', 'pldsopt']
 """
 
 from __future__ import annotations
@@ -215,6 +217,14 @@ class AlgorithmSpec:
         scatter-gather :class:`~repro.shard.Coordinator`).  The shard
         count itself is a construction parameter (``make_adapter``'s
         ``shards``); inspect ``adapter.impl.num_shards`` at runtime.
+    async_reads:
+        Whether the engine exposes the copy-on-write epoch surface
+        (:class:`~repro.core.query.QueryView` — ``publish_epoch`` /
+        ``read_view`` / ``last_moved``), letting
+        :class:`~repro.service.CoreService` publish incremental read
+        epochs at commit.  Engines without it still serve wait-free
+        reads through the service, via a full estimate sweep per
+        published epoch.
     """
 
     key: str
@@ -227,6 +237,7 @@ class AlgorithmSpec:
     metered: bool = True
     snapshot: bool = False
     sharded: bool = False
+    async_reads: bool = False
 
 
 _ALGORITHMS: dict[str, AlgorithmSpec] = {}
@@ -406,31 +417,31 @@ register_algorithm(AlgorithmSpec(
     key="plds",
     summary="PLDS, the paper's parallel level data structure (Section 5)",
     factory=_plds_factory("plds", None),
-    exact=False, parallel=True, snapshot=True,
+    exact=False, parallel=True, snapshot=True, async_reads=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="pldsopt",
     summary="PLDS with group_shrink=50, the practical variant (Section 6.1)",
     factory=_plds_factory("pldsopt", "group_shrink_opt"),
-    exact=False, parallel=True, snapshot=True,
+    exact=False, parallel=True, snapshot=True, async_reads=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="pldsflat",
     summary="flat array-backed PLDS, bit-identical to plds (GBBS layout)",
     factory=_plds_factory("pldsflat", None, flat=True),
-    exact=False, parallel=True, snapshot=True,
+    exact=False, parallel=True, snapshot=True, async_reads=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="pldsflatopt",
     summary="flat array-backed PLDS with group_shrink=50 (pldsopt twin)",
     factory=_plds_factory("pldsflatopt", "group_shrink_opt", flat=True),
-    exact=False, parallel=True, snapshot=True,
+    exact=False, parallel=True, snapshot=True, async_reads=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="lds",
     summary="sequential level data structure baseline (Section 5.2)",
     factory=_lds_factory,
-    exact=False, parallel=False, snapshot=True,
+    exact=False, parallel=False, snapshot=True, async_reads=True,
 ))
 register_algorithm(AlgorithmSpec(
     key="sun",
@@ -467,6 +478,7 @@ register_algorithm(AlgorithmSpec(
     summary="partitioned PLDS behind the scatter-gather shard coordinator",
     factory=_sharded_factory,
     exact=False, parallel=True, snapshot=True, sharded=True,
+    async_reads=True,
 ))
 
 

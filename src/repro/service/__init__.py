@@ -2,13 +2,18 @@
 
 :class:`CoreService` is the single entry point the scaling roadmap
 (sharding, async reads, caching) extends — see :mod:`repro.service.core`.
+:meth:`CoreService.reader` hands out :class:`ServiceReader` handles whose
+queries are wait-free: they serve the last *published* read epoch and
+never block on (or observe) an in-flight ``apply_batch``.
 """
 
 from .core import (
     AuditPolicy,
     BatchTelemetry,
     CoreService,
+    ReadResult,
     RetryPolicy,
+    ServiceReader,
     ServiceSnapshot,
 )
 
@@ -16,6 +21,8 @@ __all__ = [
     "AuditPolicy",
     "BatchTelemetry",
     "CoreService",
+    "ReadResult",
     "RetryPolicy",
+    "ServiceReader",
     "ServiceSnapshot",
 ]

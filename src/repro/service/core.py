@@ -24,8 +24,11 @@ is the seam those PRs extend: one session object that
   resort);
 - answers coreness / core-membership / core-subgraph queries against the
   *current* state, or against a :class:`ServiceSnapshot` so reads can
-  proceed consistently while later batches apply (the asynchronous-reads
-  model of Liu–Shun–Zablotchi);
+  proceed consistently while later batches apply — and publishes an
+  immutable :class:`~repro.core.query.EpochSnapshot` at every commit so
+  :meth:`CoreService.reader` handles serve **wait-free reads** mid-batch
+  with a provable one-in-flight-batch staleness bound (the
+  asynchronous-reads model of Liu–Shun–Zablotchi);
 - emits per-batch :class:`BatchTelemetry` — metered work/depth, wall
   time, the simulated parallel running time ``T_p`` under
   :class:`~repro.parallel.scheduler.BrentScheduler`, and the
@@ -55,6 +58,7 @@ from ..obs import metrics as _metrics
 from ..obs import tracing as _tracing
 from ..core.invariants import plds_invariant_violations, structure_matches_edges
 from ..core.plds import PLDS
+from ..core.query import EMPTY_EPOCH, CorenessQueries, EpochSnapshot
 from ..faults import InjectedFault
 from ..graphs.dynamic_graph import DynamicGraph
 from ..graphs.streams import (
@@ -78,7 +82,9 @@ __all__ = [
     "AuditPolicy",
     "BatchTelemetry",
     "CoreService",
+    "ReadResult",
     "RetryPolicy",
+    "ServiceReader",
     "ServiceSnapshot",
 ]
 
@@ -171,6 +177,8 @@ class BatchTelemetry:
     attempts: int = 1
     rolled_back: bool = False
     degraded: bool = False
+    #: serial of the read epoch published at this batch's commit.
+    read_epoch: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view — the single serialization path the
@@ -179,17 +187,20 @@ class BatchTelemetry:
 
 
 @dataclass(frozen=True)
-class ServiceSnapshot:
+class ServiceSnapshot(CorenessQueries):
     """A consistent read view of the service at one batch boundary.
 
-    Queries on the snapshot (:meth:`coreness`, :meth:`core_members`)
-    never change, no matter how many batches the live service applies
-    afterwards — this is the consistency contract asynchronous readers
-    rely on.  ``engine_state`` additionally holds the engine's exact
-    structural snapshot when the registry marks the algorithm
-    ``snapshot``-capable (the PLDS family), letting
-    :meth:`CoreService.restore` rebuild levels bit-identically instead
-    of replaying the edge set.
+    Queries on the snapshot (:meth:`coreness`, :meth:`core_members`,
+    inherited from the shared
+    :class:`~repro.core.query.CorenessQueries` algebra) never change,
+    no matter how many batches the live service applies afterwards —
+    this is the consistency contract asynchronous readers rely on.
+    ``engine_state`` additionally holds the engine's exact structural
+    snapshot when the registry marks the algorithm ``snapshot``-capable
+    (the PLDS family), letting :meth:`CoreService.restore` rebuild
+    levels bit-identically instead of replaying the edge set.
+    ``read_epoch`` records the service's epoch counter so a restore
+    resumes publication monotonically instead of resetting.
     """
 
     snapshot_id: int
@@ -198,18 +209,128 @@ class ServiceSnapshot:
     edges: tuple[tuple[int, int], ...]
     estimates: Mapping[int, float] = field(repr=False)
     engine_state: dict | None = field(default=None, repr=False)
+    read_epoch: int = 0
 
-    def coreness(self, v: int) -> float:
-        """Coreness estimate of ``v`` as of the snapshot (0.0 if absent)."""
-        return float(self.estimates.get(v, 0.0))
+    def _estimates_view(self) -> Mapping[int, float]:
+        return self.estimates
 
-    def coreness_map(self) -> dict[int, float]:
-        """All estimates as of the snapshot."""
-        return dict(self.estimates)
 
-    def core_members(self, k: float) -> set[int]:
-        """Vertices whose snapshotted estimate is at least ``k``."""
-        return {v for v, c in self.estimates.items() if c >= k}
+class ServiceReader:
+    """Wait-free read handle over a service's published epochs.
+
+    Every query reads whatever :class:`~repro.core.query.EpochSnapshot`
+    the service last *published* — publication happens only at commit
+    points (after the journal commit, and again after a degradation
+    rebuild), so a reader never observes a torn mid-apply state, a
+    rolled-back attempt, or a half-rebuilt engine: mid-batch and
+    mid-rollback reads serve the last committed epoch.  No locks, no
+    waiting on :meth:`CoreService.apply_batch`.
+
+    Each answer is a :class:`ReadResult` carrying the value plus the
+    consistency metadata the caller needs to reason about freshness:
+    the served ``epoch``, the ``staleness`` in batches behind the
+    (possibly in-flight) head, and the service's live ``degraded``
+    flag.  With observability on, each read emits a ``read.snapshot``
+    span, a ``service.reads`` counter, and a ``service.read_staleness``
+    histogram observation.
+    """
+
+    def __init__(self, service: "CoreService") -> None:
+        self._service = service
+
+    @property
+    def view(self) -> EpochSnapshot:
+        """The epoch snapshot currently served (itself immutable)."""
+        return self._service._published
+
+    @property
+    def epoch(self) -> int:
+        return self._service._published.epoch
+
+    @property
+    def degraded(self) -> bool:
+        """Live degradation state: ``True`` from the moment the audit
+        ladder engages (mid-quarantine/rebuild included), not merely
+        once a degraded epoch is published."""
+        svc = self._service
+        return svc.degraded or svc._published.degraded
+
+    @property
+    def staleness(self) -> int:
+        """Committed-plus-in-flight batches ahead of the served epoch.
+
+        0 between batches; 1 while a batch (or its rollback/retry) is
+        in flight — never more, which is the wait-free staleness bound
+        the mvcc checker test pins.
+        """
+        svc = self._service
+        head = svc.batches_applied + (1 if svc._in_flight else 0)
+        return max(0, head - svc._published.batches_applied)
+
+    def _read(self, query: str, fn):
+        svc = self._service
+        view = svc._published
+        head = svc.batches_applied + (1 if svc._in_flight else 0)
+        stale = max(0, head - view.batches_applied)
+        degraded = svc.degraded or view.degraded
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc("service.reads", query=query)
+            mreg.observe("service.read_staleness", stale)
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            value = fn(view)
+        else:
+            with tracer.span(
+                "read.snapshot",
+                svc._tracker(),
+                query=query,
+                epoch=view.epoch,
+                staleness=stale,
+            ):
+                value = fn(view)
+        return ReadResult(
+            value=value, epoch=view.epoch, staleness=stale, degraded=degraded
+        )
+
+    def coreness(self, v: int) -> "ReadResult":
+        return self._read("coreness", lambda view: view.coreness(v))
+
+    def coreness_map(self) -> "ReadResult":
+        return self._read("coreness_map", lambda view: view.coreness_map())
+
+    def core_members(self, k: float) -> "ReadResult":
+        return self._read("core_members", lambda view: view.core_members(k))
+
+    def core_subgraph(self, k: int) -> "ReadResult":
+        return self._read("core_subgraph", lambda view: view.core_subgraph(k))
+
+    def densest_estimate(self) -> "ReadResult":
+        return self._read(
+            "densest_estimate", lambda view: view.densest_estimate()
+        )
+
+    def level(self, v: int) -> "ReadResult":
+        return self._read("level", lambda view: view.level(v))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceReader(epoch={self.epoch}, staleness={self.staleness}, "
+            f"degraded={self.degraded})"
+        )
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One wait-free read: the value plus its consistency metadata."""
+
+    value: Any
+    #: epoch serial the value was served from.
+    epoch: int
+    #: batches (committed + in flight) the served epoch is behind.
+    staleness: int
+    #: the service's degradation flag at read time.
+    degraded: bool
 
 
 class CoreService:
@@ -271,6 +392,7 @@ class CoreService:
         retry: RetryPolicy | None = None,
         audit: AuditPolicy | None = None,
         transactional: bool = True,
+        epoch_start: int = 0,
         **engine_kwargs: Any,
     ) -> None:
         if threads < 1:
@@ -309,6 +431,14 @@ class CoreService:
             self.algorithm = algorithm
             self._adapter = make_adapter(algorithm, n_hint, **engine_kwargs)
         self.spec = algorithm_spec(self.algorithm)
+        if epoch_start < 0:
+            raise ValueError("epoch_start must be >= 0")
+        #: monotone epoch counter; ``epoch_start`` lets a recovered
+        #: service resume numbering past its predecessor's last epoch.
+        self.read_epoch = epoch_start
+        self._in_flight = False
+        self._published: EpochSnapshot = EMPTY_EPOCH
+        self._publish_epoch()  # epoch_start+1: the (empty) initial state
 
     # -- state -----------------------------------------------------------
 
@@ -390,8 +520,19 @@ class CoreService:
     def _serve_batch(
         self, batch: Batch, tracer: "_tracing.Tracer | None"
     ) -> BatchTelemetry:
-        mreg = _metrics.ACTIVE
         validate_vertex_ids(batch)
+        # While in flight, concurrent readers serve the last published
+        # epoch and report staleness 1 (one in-flight batch behind).
+        self._in_flight = True
+        try:
+            return self._serve_batch_inflight(batch, tracer)
+        finally:
+            self._in_flight = False
+
+    def _serve_batch_inflight(
+        self, batch: Batch, tracer: "_tracing.Tracer | None"
+    ) -> BatchTelemetry:
+        mreg = _metrics.ACTIVE
         record = self.journal.begin(batch)
         restore_point = self._restore_point() if self.transactional else None
         attempts = 0
@@ -450,6 +591,11 @@ class CoreService:
         after = self._adapter.cost
         delta = Cost(after.work - before.work, after.depth - before.depth)
         self.batches_applied += 1
+        # The commit point of the commit-publish protocol: the journal
+        # committed and the mirror reflects the batch, so the new state
+        # becomes readable *now* — before the audit, which may take a
+        # long degradation detour that readers must not wait on.
+        published = self._publish_epoch(self._commit_touched(batch))
         degraded = False
         if self.audit_policy.due(self.batches_applied, rolled_back):
             if tracer is not None:
@@ -481,6 +627,7 @@ class CoreService:
             attempts=attempts,
             rolled_back=rolled_back,
             degraded=degraded,
+            read_epoch=published.epoch,
         )
         self.telemetry.append(entry)
         return entry
@@ -488,6 +635,74 @@ class CoreService:
     def _tracker(self):
         impl = self._driver.plds if self._driver is not None else self._adapter.impl
         return impl.tracker
+
+    # -- epoch publication (the commit-publish protocol) -----------------
+
+    def reader(self) -> ServiceReader:
+        """A wait-free read handle serving the last *published* epoch.
+
+        See :class:`ServiceReader`; readers keep answering — with
+        epoch/staleness metadata — while :meth:`apply_batch` is mid
+        apply, mid rollback, or mid degradation rebuild.
+        """
+        return ServiceReader(self)
+
+    def _publish_epoch(self, touched: "set[int] | None" = None) -> EpochSnapshot:
+        """Publish the current committed state as the next read epoch.
+
+        Engines exposing the :class:`~repro.core.query.QueryView`
+        surface publish copy-on-write (only ``touched`` entries are
+        re-derived; the sharded coordinator additionally records its
+        stable per-shard epoch vector); everything else — including the
+        exact static engine the degradation ladder falls back to — is
+        published from a full estimate sweep.  Callers must sit at a
+        commit point: the journal commit, a degradation rebuild's end,
+        or a snapshot restore.
+        """
+        impl = self._driver.plds if self._driver is not None else self._adapter.impl
+        publish = getattr(impl, "publish_epoch", None)
+        shard_epochs = None
+        if publish is not None:
+            snap = publish(touched)
+            estimates: Mapping[int, float] = snap.estimates
+            levels: Mapping[int, int] = snap.levels
+            shard_epochs = snap.shard_epochs
+        else:
+            estimates = self._adapter.estimates()
+            levels = {}
+        self.read_epoch += 1
+        view = EpochSnapshot(
+            epoch=self.read_epoch,
+            estimates=estimates,
+            levels=levels,
+            shard_epochs=shard_epochs,
+            batches_applied=self.batches_applied,
+            degraded=self.degraded,
+            edges=frozenset(self._graph.edges()),
+        )
+        self._published = view
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.gauge("service.read_epoch", self.read_epoch)
+        return view
+
+    def _commit_touched(self, batch: Batch) -> "set[int] | None":
+        """Vertices whose epoch entries this commit may change: the
+        batch's endpoints plus the engine's :attr:`last_moved` set —
+        or ``None`` (publish fully) when the engine cannot bound its
+        moves (rebuild happened, or it is not a QueryView engine)."""
+        impl = self._driver.plds if self._driver is not None else self._adapter.impl
+        moved = getattr(impl, "last_moved", None)
+        if moved is None:
+            return None
+        touched = set(moved)
+        for u, v in batch.insertions:
+            touched.add(u)
+            touched.add(v)
+        for u, v in batch.deletions:
+            touched.add(u)
+            touched.add(v)
+        return touched
 
     def _restore_point(self) -> dict | None:
         """Pre-batch rollback state: an exact structural snapshot for
@@ -546,14 +761,30 @@ class CoreService:
         Hosted applications degrade by rebuilding driver + application
         from the mirror; if even that audits dirty, the application is
         dropped and coreness serving falls through to rung 2.
+
+        Readers are never blocked by the ladder: ``degraded`` flips at
+        entry (so mid-quarantine/rebuild reads report it immediately)
+        while they keep serving the last committed epoch; the rebuilt
+        engine's estimates are republished as a fresh epoch once the
+        ladder settles.
         """
+        # Every exit path below ends degraded; setting it first makes
+        # the flag visible to wait-free readers *during* the rebuild.
+        self.degraded = True
         self.audit_failures.append(tuple(problems))
         edges = sorted(self._graph.edges())
+        try:
+            self._degrade_ladder(edges)
+        finally:
+            # The engine changed under the readers' feet (rebuild or
+            # exact-static swap): publish its estimates as a new epoch.
+            self._publish_epoch()
+
+    def _degrade_ladder(self, edges: list[tuple[int, int]]) -> None:
         if self._driver is not None:
             self.quarantined = self._driver
             self._restore_engine(edges, None)
             if not self.audit():
-                self.degraded = True
                 self.degraded_to = self.algorithm
                 return
         else:
@@ -566,7 +797,6 @@ class CoreService:
                 candidate = None
             if candidate is not None and not self._audit_impl(candidate.impl):
                 self._adapter = candidate
-                self.degraded = True
                 self.degraded_to = self.algorithm
                 return
         # Last resort: exact static recompute from the mirror.  Dropping
@@ -578,7 +808,6 @@ class CoreService:
         self.application = None
         self.algorithm = _LAST_RESORT
         self.spec = algorithm_spec(_LAST_RESORT)
-        self.degraded = True
         self.degraded_to = _LAST_RESORT
 
     # -- queries ---------------------------------------------------------
@@ -638,6 +867,7 @@ class CoreService:
             edges=tuple(sorted(self._graph.edges())),
             estimates=self.coreness_map(),
             engine_state=engine_state,
+            read_epoch=self.read_epoch,
         )
 
     def restore(self, snapshot: ServiceSnapshot) -> None:
@@ -680,6 +910,11 @@ class CoreService:
         self.telemetry = [
             t for t in self.telemetry if t.batch_id <= snapshot.batches_applied
         ]
+        # Monotone epoch resumption: never re-issue a serial the live
+        # service (or the snapshotted one) already published — readers
+        # rely on epoch order agreeing with publication order.
+        self.read_epoch = max(self.read_epoch, snapshot.read_epoch)
+        self._publish_epoch()
 
     def _restore_engine(
         self,
@@ -740,6 +975,12 @@ class CoreService:
         own serving history), and the replay is observable: it counts as
         one ``service.restores{mode="journal"}`` and, when a tracer is
         active, runs inside a ``service.restore`` span.
+
+        Epoch numbering stays monotone across the crash: pass the
+        crashed service's last :attr:`read_epoch` as ``epoch_start``
+        (forwarded to the constructor) and the recovered service resumes
+        publishing *past* it — each replayed commit publishes the next
+        serial — instead of restarting readers at epoch 0.
         """
         service = cls(algorithm, **kwargs)
         mreg = _metrics.ACTIVE

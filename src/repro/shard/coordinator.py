@@ -40,6 +40,7 @@ from typing import Iterable
 
 from .. import faults as _faults
 from ..core.plds import UpdateResult
+from ..core.query import EMPTY_EPOCH, EpochSnapshot
 from ..faults import InjectedFault
 from ..graphs.dynamic_graph import canonical_edge
 from ..graphs.streams import Batch, validate_vertex_ids
@@ -116,6 +117,12 @@ class Coordinator:
         self._initialized = False
         #: O(log #shards) scatter/gather combining depth per batch phase.
         self._route_depth = log2_ceil(max(2, shards)) + 1
+        #: epoch store (see :meth:`publish_epoch`).
+        self._published: EpochSnapshot | None = None
+        self._epoch_serial = 0
+        #: vertices moved by the last update(); ``None`` = publish fully.
+        self.last_moved: set[int] | None = None
+        self._levels_reshaped = False
 
     # -- conveniences ---------------------------------------------------
 
@@ -153,6 +160,15 @@ class Coordinator:
 
     def coreness_estimates(self) -> dict[int, float]:
         return self.engine.coreness_estimates()
+
+    def core_members(self, k: float) -> set[int]:
+        return self.engine.core_members(k)
+
+    def core_subgraph(self, k: int) -> tuple[set[int], list[tuple[int, int]]]:
+        return self.engine.core_subgraph(k)
+
+    def densest_estimate(self) -> tuple[float, set[int]]:
+        return self.engine.densest_estimate()
 
     def space_bytes(self) -> int:
         return self.engine.space_bytes()
@@ -197,15 +213,22 @@ class Coordinator:
         self._initialized = True
         tracer = _tracing.ACTIVE
         if tracer is None:
-            return self._apply_batch(batch)
-        with tracer.span(
-            self._SPAN_NAME,
-            self.tracker,
-            insertions=len(batch.insertions),
-            deletions=len(batch.deletions),
-            shards=self.num_shards,
-        ):
-            return self._apply_batch(batch)
+            result = self._apply_batch(batch)
+        else:
+            with tracer.span(
+                self._SPAN_NAME,
+                self.tracker,
+                insertions=len(batch.insertions),
+                deletions=len(batch.deletions),
+                shards=self.num_shards,
+            ):
+                result = self._apply_batch(batch)
+        if self._levels_reshaped:
+            self.last_moved = None
+            self._levels_reshaped = False
+        else:
+            self.last_moved = result.moved_vertices
+        return result
 
     def _apply_batch(self, batch: Batch) -> UpdateResult:
         ins, dels = self._clean_batch(batch)
@@ -359,6 +382,85 @@ class Coordinator:
             edges=engine.num_edges,
         ):
             engine.rebuild()
+
+    # -- epoch-versioned reads ------------------------------------------
+
+    def publish_epoch(
+        self, touched: Iterable[int] | None = None
+    ) -> EpochSnapshot:
+        """Publish a coordinator epoch over a *stable* per-shard vector.
+
+        Call only at a quiescent commit point (between batches): every
+        kernel publishes its local epoch first, then the coordinator
+        merges them under one serial, so the recorded ``shard_epochs``
+        vector is exactly the set of shard states the merged image was
+        gathered from — an immutable consistent cut, not a racy
+        read-one-shard-at-a-time sample.
+
+        Copy-on-write: with ``touched`` given (batch endpoints plus
+        :attr:`last_moved`), the previous coordinator image is copied
+        and only the touched vertices re-read from their owner kernels'
+        fresh epochs; after an engine-coordinated rebuild (which resets
+        every kernel) the image is republished from scratch.
+        """
+        engine = self.engine
+        kernels = engine.kernels
+        if self._levels_reshaped or engine._levels_reshaped:
+            touched = None
+            self._levels_reshaped = False
+            engine._levels_reshaped = False
+        owner = engine.partitioner.owner
+        if touched is None:
+            per_shard: list[set[int]] | None = None
+        else:
+            per_shard = [set() for _ in kernels]
+            for v in touched:
+                per_shard[owner(v)].add(v)
+        snaps = [
+            k.publish_epoch(None if per_shard is None else per_shard[s])
+            for s, k in enumerate(kernels)
+        ]
+        prev = self._published
+        if prev is None or per_shard is None:
+            estimates: dict[int, float] = {}
+            levels: dict[int, int] = {}
+            for snap in snaps:
+                estimates.update(snap.estimates)
+                levels.update(snap.levels)
+        else:
+            estimates = dict(prev.estimates)
+            levels = dict(prev.levels)
+            for s, snap in enumerate(snaps):
+                for v in per_shard[s]:
+                    est = snap.estimates.get(v)
+                    if est is None:
+                        estimates.pop(v, None)
+                        levels.pop(v, None)
+                    else:
+                        estimates[v] = est
+                        levels[v] = snap.levels[v]
+        self._epoch_serial += 1
+        view = EpochSnapshot(
+            epoch=self._epoch_serial,
+            estimates=estimates,
+            levels=levels,
+            shard_epochs=tuple(s.epoch for s in snaps),
+        )
+        self._published = view
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            for s, snap in enumerate(snaps):
+                mreg.gauge("shard.read_epoch", snap.epoch, shard=str(s))
+        return view
+
+    def read_view(self) -> EpochSnapshot:
+        """Last published coordinator epoch (empty epoch 0 before any)."""
+        pub = self._published
+        return pub if pub is not None else EMPTY_EPOCH
+
+    @property
+    def read_epoch(self) -> int:
+        return self._epoch_serial
 
     # -- snapshots ------------------------------------------------------
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from .. import faults as _faults
+from ..core.query import QueryView
 from ..obs import metrics as _metrics
 from ..obs import tracing as _tracing
 from ..parallel.engine import WorkDepthTracker
@@ -41,7 +42,7 @@ from .partition import Partitioner
 __all__ = ["ShardedEngine"]
 
 
-class ShardedEngine:
+class ShardedEngine(QueryView):
     """Partitioned PLDS: per-shard kernels + ghost directory + rounds."""
 
     def __init__(
@@ -339,6 +340,10 @@ class ShardedEngine:
             self.replay_insert(edges)
         for k in self.kernels:  # replay moves are not batch moves
             k._moved.clear()
+        # Kernels were recreated: every level was re-derived and the
+        # per-shard epoch serials restarted, so the next publication
+        # must be from scratch.
+        self._levels_reshaped = True
 
     def replay_insert(self, edges: list[tuple[int, int]]) -> None:
         """Plain (fault-transparent) insertion scatter + rise rounds —
@@ -369,14 +374,32 @@ class ShardedEngine:
     def level(self, v: int) -> int:
         return self.kernels[self.partitioner.owner(v)].level(v)
 
-    def coreness_estimate(self, v: int) -> float:
-        return self.kernels[self.partitioner.owner(v)].coreness_estimate(v)
+    # The shared QueryView surface (coreness_estimate / estimates /
+    # core_members / densest_estimate / core_subgraph) gathers over the
+    # kernels through these two hooks; shard-local vertex sets are
+    # disjoint, so chaining kernels merges without conflicts and in the
+    # same order the old per-engine dict merge produced.
 
-    def coreness_estimates(self) -> dict[int, float]:
-        out: dict[int, float] = {}
+    def _level_items(self):
         for k in self.kernels:
-            out.update(k.coreness_estimates())
-        return out
+            yield from k._level_items()
+
+    def _level_deg_of(self, v: int) -> tuple[int, int] | None:
+        return self.kernels[self.partitioner.owner(v)]._level_deg_of(v)
+
+    @property
+    def levels_per_group(self) -> int:
+        # Every kernel is built from the same global parameters (the
+        # engine-coordinated rebuild re-sizes all shards together).
+        return self.kernels[0].levels_per_group
+
+    @property
+    def _group_pow(self) -> list[float]:
+        return self.kernels[0]._group_pow
+
+    def vertices(self) -> Iterator[int]:
+        for k in self.kernels:
+            yield from k._vertices
 
     def has_edge(self, u: int, v: int) -> bool:
         return self.kernels[self.partitioner.owner(u)].has_edge(u, v)
