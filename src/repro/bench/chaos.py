@@ -145,6 +145,9 @@ class ChaosTrial:
     reads_probed: int = 0
     reads_consistent: int = 0
     max_read_staleness: int = 0
+    #: traversals slowed by an armed stall window (``stall_depth`` runs);
+    #: parity must hold regardless — stalls add depth, never wrong state.
+    stalled_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -172,6 +175,7 @@ class ChaosTrial:
             "reads_probed": self.reads_probed,
             "reads_consistent": self.reads_consistent,
             "max_read_staleness": self.max_read_staleness,
+            "stalled_hits": self.stalled_hits,
         }
 
 
@@ -277,6 +281,7 @@ def run_chaos(
     seed: int = 0,
     delete_fraction: float = 0.5,
     trace: bool = False,
+    stall_depth: int = 0,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring for the design.
 
@@ -294,6 +299,12 @@ def run_chaos(
     faultpoint traversal, and every probed read is checked against its
     committed-prefix reference (see :func:`probe_consistent`) — the
     linearizability check the mvcc test suite pins.
+
+    ``stall_depth > 0`` additionally arms a
+    :class:`~repro.faults.StallPoint` on ``service.apply`` over the
+    middle half of each trial (slow-apply injection): recovery and the
+    parity/read-consistency gates must hold under combined crash + stall
+    pressure, and the trial reports how many traversals were slowed.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -327,6 +338,14 @@ def run_chaos(
         plan = faults.random_plan(seed + i, census.counts)
         if references is not None:
             plan = ReadProbePlan(plan.points)
+        if stall_depth:
+            apply_hits = census.counts["service.apply"]
+            plan.stall(
+                "service.apply",
+                stall_depth,
+                first_hit=max(1, apply_hits // 4),
+                last_hit=max(1, (3 * apply_hits) // 4),
+            )
         point = plan.points[0]
         error: str | None = None
         service: CoreService | None = None
@@ -375,6 +394,7 @@ def run_chaos(
                 max_read_staleness=max(
                     (p.staleness for p in probes), default=0
                 ),
+                stalled_hits=plan.stalled_hits,
             )
         )
     return ChaosReport(

@@ -29,6 +29,16 @@ Commands
 ``metrics``
     Run the same workload under a metrics registry and dump every
     counter/gauge/histogram in Prometheus text or JSON form.
+``soak``
+    Chaos-armed multi-tenant soak: drive an admission-controlled
+    service with a seeded traffic mix for N simulated seconds (crash
+    faults + slow-shard stalls armed) and write a bit-reproducible
+    per-tenant SLO artifact ``SOAK_<label>.json``.  Ctrl-C flushes the
+    partial artifact (``interrupted: true``) before exiting 130.
+``journal``
+    Inspect a dumped write-ahead :class:`UpdateJournal`; a corrupt or
+    truncated file is reported with its cut point (exit 2), and
+    ``--recover`` salvages the intact record prefix instead.
 
 All algorithm dispatch resolves through :mod:`repro.registry`.
 
@@ -47,18 +57,36 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .bench.harness import run_protocol
 from .graphs.generators import dataset_suite
 from .graphs.io import read_edge_list
 from .parallel.engine import WorkDepthTracker
 from .parallel.scheduler import BrentScheduler
-from .registry import algorithm_keys, algorithm_spec, make_adapter
+from .registry import (
+    algorithm_keys,
+    algorithm_spec,
+    make_adapter,
+    make_workload,
+    workload_keys,
+)
 from .static_kcore.approx import approx_coreness_static
 from .static_kcore.exact import ParallelExactKCore, exact_coreness, max_coreness
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "on_interrupt"]
+
+#: ``(label, flush)`` callbacks run by :func:`main` when a command is cut
+#: short by Ctrl-C, *before* returning the conventional exit 130.  Long
+#: commands register a flusher so their partial artifact still lands on
+#: disk (e.g. ``repro soak`` writes its SLO artifact with
+#: ``interrupted: true``).  Cleared at the start of every :func:`main`.
+_INTERRUPT_FLUSHERS: list[tuple[str, Callable[[], None]]] = []
+
+
+def on_interrupt(label: str, flush: Callable[[], None]) -> None:
+    """Register a partial-result flusher for the KeyboardInterrupt path."""
+    _INTERRUPT_FLUSHERS.append((label, flush))
 
 
 def _load_edges(args) -> tuple[str, list[tuple[int, int]]]:
@@ -196,17 +224,10 @@ def cmd_static(args) -> int:
 def cmd_adversary(args) -> int:
     from .baselines.zhang import ZhangExactDynamic
     from .core.plds import PLDS
-    from .graphs import adversarial
 
-    generators = {
-        "cycle": lambda: adversarial.cycle_toggle(args.size, args.rounds),
-        "cascade": lambda: adversarial.cascade_chain(args.size, args.rounds),
-        "clique": lambda: adversarial.clique_pulse(
-            max(3, args.size), args.rounds
-        ),
-        "star": lambda: adversarial.star_pulse(args.size, args.rounds),
-    }
-    initial, batches = generators[args.workload]()
+    # Generators resolve through the workload registry, the same table
+    # soak traffic mixes reference declaratively (see `repro soak`).
+    initial, batches = make_workload(args.workload, args.size, args.rounds)
     n_hint = max((max(e) for e in initial), default=1) + 2
     print(
         f"workload={args.workload} size={args.size} rounds={args.rounds} "
@@ -453,6 +474,7 @@ def cmd_chaos(args) -> int:
         seed=args.seed,
         delete_fraction=args.delete_fraction,
         trace=args.trace,
+        stall_depth=args.stall_depth,
     )
     print(
         f"chaos: algorithm={report.algorithm} vertices={report.vertices} "
@@ -572,6 +594,122 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _write_soak_artifact(path: str, report: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def cmd_soak(args) -> int:
+    import os
+
+    from .service.admission import AdmissionPolicy, TenantQuota
+    from .traffic import SoakConfig, SoakRunner, StallWindow, default_mix
+
+    if (args.stall_from is None) != (args.stall_until is None):
+        raise SystemExit("--stall-from and --stall-until go together")
+    stall = None
+    if args.stall_from is not None:
+        stall = StallWindow(
+            start=args.stall_from, end=args.stall_until, depth=args.stall_depth
+        )
+    quota = None
+    if args.quota_rate is not None or args.quota_burst is not None:
+        quota = TenantQuota(
+            rate=args.quota_rate if args.quota_rate is not None else 2.0,
+            burst=args.quota_burst if args.quota_burst is not None else 40.0,
+        )
+    # Backpressure triggers: sharded runs watch shard lag; a monolithic
+    # run has no lag signal, so a stall there must trip on batch depth.
+    policy_kwargs: dict = {"queue_limit": args.queue_limit}
+    if stall is not None and args.shards is None:
+        policy_kwargs["depth_threshold"] = stall.depth
+    config = SoakConfig(
+        mix=default_mix(args.tenants, rate=args.rate),
+        horizon=args.horizon,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        shards=args.shards,
+        threads=args.threads,
+        fault_rate=args.fault_rate,
+        stall=stall,
+        policy=AdmissionPolicy(**policy_kwargs),
+        default_quota=quota,
+        verify_reads=not args.no_verify_reads,
+        probe_every=args.probe_every,
+        label=args.label,
+    )
+    out_path = os.path.join(args.output_dir, f"SOAK_{args.label}.json")
+    runner = SoakRunner(config)
+    # Ctrl-C mid-soak must still land the partial artifact on disk
+    # (interrupted: true) before main() returns 130.
+    on_interrupt(
+        out_path, lambda: _write_soak_artifact(out_path, runner.report(True))
+    )
+    print(
+        f"soak: {args.tenants} tenants, horizon={args.horizon:.0f}s "
+        f"(simulated), algorithm={args.algorithm}"
+        + (f" shards={args.shards}" if args.shards else "")
+        + f", fault_rate={args.fault_rate}"
+        + (f", stall [{stall.start:.0f}, {stall.end:.0f})" if stall else "")
+    )
+    report = runner.run()
+    _write_soak_artifact(out_path, report)
+    print(f"{'tenant':10s} {'writes':>7s} {'adm':>6s} {'rej':>5s} {'shed':>5s} "
+          f"{'p50':>8s} {'p99':>8s} {'reads':>6s} {'stale':>5s}")
+    for name, t in report["tenants"].items():
+        w, r = t["writes"], t["reads"]
+        p50 = f"{w['p50_latency']:.0f}" if w["p50_latency"] is not None else "-"
+        p99 = f"{w['p99_latency']:.0f}" if w["p99_latency"] is not None else "-"
+        print(
+            f"{name:10s} {w['events']:7d} {w['admitted']:6d} "
+            f"{w['rejected']:5d} {w['shed']:5d} {p50:>8s} {p99:>8s} "
+            f"{r['events']:6d} {r['max_staleness']:5d}"
+        )
+    cons = report["consistency"]
+    print(f"  consistency  : {cons['reads_consistent']}/{cons['reads_probed']} "
+          f"probes consistent, max staleness {cons['max_staleness']}")
+    print(f"  faults       : {report['faults']['fired']} fired, "
+          f"{report['faults']['stalled_hits']} stalled hits")
+    bp = report["backpressure"]
+    print(f"  backpressure : engaged {bp['engaged_count']}x, "
+          f"{bp['pressure_time']:.0f}s under pressure")
+    print(f"  degraded     : {report['degraded']['time']:.0f}s "
+          f"({report['degraded']['entered']} episodes)")
+    print(f"wrote {out_path}")
+    print(f"soak SLO check: {'OK' if report['ok'] else 'FAIL'}")
+    return 0 if report["ok"] else 1
+
+
+def cmd_journal(args) -> int:
+    from .graphs.streams import UpdateJournal
+
+    journal = UpdateJournal.load(args.path, recover=args.recover)
+    statuses = {"committed": 0, "pending": 0, "aborted": 0}
+    for record in journal.records:
+        statuses[record.status] += 1
+    print(f"{args.path}: {len(journal.records)} records "
+          f"({statuses['committed']} committed, {statuses['pending']} pending, "
+          f"{statuses['aborted']} aborted)")
+    if journal.truncation is not None:
+        t = journal.truncation
+        print(
+            f"  RECOVERED: corrupt tail cut at line {t.line} column "
+            f"{t.column} ({t.detail}); kept {t.records} records "
+            f"({t.committed} committed)"
+        )
+    updates = sum(
+        len(r.insertions) + len(r.deletions)
+        for r in journal.records
+        if r.status == "committed"
+    )
+    print(f"  replayable history: {len(journal.committed_batches())} batches, "
+          f"{updates} updates")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -625,7 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("adversary", help="run an adversarial toggle workload")
     p.add_argument(
-        "--workload", choices=("cycle", "cascade", "clique", "star"),
+        "--workload", choices=workload_keys(adversarial=True),
         default="cycle",
     )
     p.add_argument("--size", type=int, default=100)
@@ -669,6 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="attach the baseline span forest and a metrics dump "
                         "to the JSON report")
+    p.add_argument("--stall-depth", type=int, default=0,
+                   help="also arm a slow-apply stall (this much extra depth "
+                        "per service.apply) over the middle half of every "
+                        "trial")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -743,6 +885,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write here instead of stdout")
     p.set_defaults(fn=cmd_metrics)
 
+    p = sub.add_parser(
+        "soak",
+        help="chaos-armed multi-tenant soak (writes SOAK_<label>.json)",
+    )
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenant count (templates cycle: bursty writer, "
+                        "read-heavy, diurnal, adversarial)")
+    p.add_argument("--horizon", type=float, default=600.0,
+                   help="simulated seconds of traffic to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="same seed => bit-identical SLO artifact")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="base per-tenant arrival rate (requests per "
+                        "simulated second)")
+    p.add_argument("--algorithm", choices=algorithm_keys(dynamic=True),
+                   default="pldsopt")
+    p.add_argument("--shards", type=int, default=None,
+                   help="serve through the sharded coordinator with this "
+                        "many shards (enables the shard-lag backpressure "
+                        "signal)")
+    p.add_argument("--threads", type=int, default=60,
+                   help="processor count for the simulated T_p clock")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="probability per write of arming a fresh crash "
+                        "faultpoint (one in flight at a time)")
+    p.add_argument("--stall-from", type=float, default=None, metavar="T",
+                   help="open a slow-shard stall window at this simulated "
+                        "time (needs --stall-until)")
+    p.add_argument("--stall-until", type=float, default=None, metavar="T",
+                   help="close the stall window at this simulated time")
+    p.add_argument("--stall-depth", type=int, default=4000,
+                   help="extra critical-path depth charged per stalled hit")
+    p.add_argument("--queue-limit", type=int, default=12,
+                   help="shed writes when the simulated backlog reaches "
+                        "this depth (tightens under backpressure)")
+    p.add_argument("--quota-rate", type=float, default=None,
+                   help="default per-tenant token refill rate "
+                        "(tokens per simulated second)")
+    p.add_argument("--quota-burst", type=float, default=None,
+                   help="default per-tenant token bucket capacity")
+    p.add_argument("--probe-every", type=int, default=7,
+                   help="read-probe every Nth faultpoint traversal")
+    p.add_argument("--no-verify-reads", action="store_true",
+                   help="skip the mid-cascade read-consistency probes")
+    p.add_argument("--label", default="local",
+                   help="output file is SOAK_<label>.json")
+    p.add_argument("--output-dir", default=".",
+                   help="directory for the SOAK json (default: cwd)")
+    p.set_defaults(fn=cmd_soak)
+
+    p = sub.add_parser(
+        "journal",
+        help="inspect a dumped write-ahead journal (exit 2 if corrupt)",
+    )
+    p.add_argument("path", help="path to a journal JSON written by dump()")
+    p.add_argument("--recover", action="store_true",
+                   help="salvage the intact record prefix of a corrupt "
+                        "journal instead of failing")
+    p.set_defaults(fn=cmd_journal)
+
     return parser
 
 
@@ -765,11 +967,20 @@ def _error_site(exc: BaseException) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    _INTERRUPT_FLUSHERS.clear()
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except KeyboardInterrupt:
-        # Never swallow Ctrl-C into a generic error: conventional 128+SIGINT.
+        # Never swallow Ctrl-C into a generic error: conventional 128+SIGINT
+        # for EVERY subcommand, flushing any registered partial artifacts
+        # first (e.g. a soak's SLO report with interrupted: true).
+        for label, flush in _INTERRUPT_FLUSHERS:
+            try:
+                flush()
+                print(f"repro: flushed partial {label}", file=sys.stderr)
+            except Exception as exc:  # the flusher must not mask exit 130
+                print(f"repro: flush of {label} failed: {exc}", file=sys.stderr)
         print("repro: interrupted", file=sys.stderr)
         return 130
     except BrokenPipeError:  # output piped into e.g. `head`

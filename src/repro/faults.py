@@ -6,8 +6,11 @@ module is the substrate that makes such crashes *reproducible*: named
 **faultpoints** are threaded through the engine, the PLDS rebalancing
 cascades, and the :class:`~repro.service.CoreService` apply path, and a
 :class:`FaultPlan` arms any of them to raise :class:`InjectedFault` on
-an exact (Nth) traversal.  Tests, the property suite, and the
-``repro chaos`` CLI all drive recovery through the same five sites:
+an exact (Nth) traversal, or — via :class:`StallPoint` windows — to
+*stall*: charge extra metered depth to the site's tracker instead of
+crashing, which is how slow shards are injected for backpressure tests.
+Tests, the property suite, and the ``repro chaos`` / ``repro soak``
+CLIs all drive recovery through the same five sites:
 
 ==================  ====================================================
 site                fires
@@ -61,6 +64,7 @@ __all__ = [
     "FAULT_SITES",
     "InjectedFault",
     "FaultPoint",
+    "StallPoint",
     "FaultPlan",
     "ACTIVE",
     "install",
@@ -105,6 +109,50 @@ class FaultPoint:
             raise ValueError("hit_number is 1-based and must be >= 1")
 
 
+@dataclass
+class StallPoint:
+    """Arm one site to *stall* (add metered depth) instead of crashing.
+
+    Crashes exercise rollback; stalls exercise **backpressure**.  A stall
+    is active for every traversal whose 1-based hit number falls in
+    ``[first_hit, last_hit]`` (``last_hit=None`` leaves it open until
+    :meth:`FaultPlan.end_stall` closes it).  Instrumented sites query
+    :meth:`FaultPlan.delay_for` after :meth:`FaultPlan.hit` and charge
+    the returned ``depth`` to their work-depth tracker — so a stalled
+    shard shows up exactly where a genuinely slow shard would: in the
+    metered span/telemetry depth and in the coordinator's shard-lag
+    signal, which is what the admission controller watches.
+
+    ``every`` strides the stall within its window: only traversals with
+    ``(hit - first_hit) % every == 0`` are slowed.  ``shard.apply`` is
+    traversed once per *active shard* per scatter, so ``every = #shards``
+    stalls roughly one shard per batch — an asymmetric slow shard that
+    makes the coordinator's lag signal spike, where stalling every
+    traversal would slow all shards uniformly and produce no lag at all.
+    """
+
+    site: str
+    depth: int
+    first_hit: int = 1
+    last_hit: int | None = None
+    every: int = 1
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from {FAULT_SITES}"
+            )
+        if self.depth < 1:
+            raise ValueError("stall depth must be >= 1")
+        if self.first_hit < 1:
+            raise ValueError("first_hit is 1-based and must be >= 1")
+        if self.last_hit is not None and self.last_hit < self.first_hit:
+            raise ValueError("last_hit must be >= first_hit")
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+
+
 class FaultPlan:
     """A set of armed :class:`FaultPoint`\\ s plus per-site hit counters.
 
@@ -117,9 +165,14 @@ class FaultPlan:
     the retry traverses the site at hit ``n + 1`` and proceeds.
     """
 
-    def __init__(self, points: Iterable[FaultPoint] = ()) -> None:
+    def __init__(
+        self,
+        points: Iterable[FaultPoint] = (),
+        stalls: Iterable[StallPoint] = (),
+    ) -> None:
         self.points: tuple[FaultPoint, ...] = tuple(points)
         self._armed = {(p.site, p.hit_number) for p in self.points}
+        self.stalls: list[StallPoint] = list(stalls)
         self.counts: dict[str, int] = dict.fromkeys(FAULT_SITES, 0)
         self.fired: list[FaultPoint] = []
 
@@ -133,6 +186,72 @@ class FaultPlan:
             if mreg is not None:
                 mreg.inc("faults.fired", site=site)
             raise InjectedFault(f"injected fault at {site} (hit {count})")
+
+    def arm(self, point: FaultPoint) -> FaultPoint:
+        """Add one more crash point to a live plan (soak-style arming).
+
+        The soak harness arms faults *while the plan is installed*, aimed
+        just past the site's current hit count, so a long-running run can
+        keep injecting fresh transient crashes without reinstalling.
+        """
+        self.points = self.points + (point,)
+        self._armed.add((point.site, point.hit_number))
+        return point
+
+    # -- stalls (slow-shard / slow-apply injection) --------------------
+
+    def stall(
+        self,
+        site: str,
+        depth: int,
+        first_hit: int | None = None,
+        last_hit: int | None = None,
+        every: int = 1,
+    ) -> StallPoint:
+        """Arm a stall at ``site``; defaults to starting at the *next* hit."""
+        if first_hit is None:
+            first_hit = self.counts[site] + 1
+        point = StallPoint(
+            site, depth, first_hit=first_hit, last_hit=last_hit, every=every
+        )
+        self.stalls.append(point)
+        return point
+
+    def end_stall(self, point: StallPoint) -> None:
+        """Close an open stall window at the site's current hit count."""
+        if point.last_hit is None:
+            point.last_hit = max(self.counts[point.site], point.first_hit)
+
+    def delay_for(self, site: str) -> int:
+        """Total stall depth to charge for the traversal just recorded.
+
+        Call once per traversal, right after :meth:`hit`; the answer is
+        based on the hit counter that :meth:`hit` advanced, so crashes
+        and stalls armed at the same traversal stay consistent.
+        """
+        if not self.stalls:
+            return 0
+        count = self.counts[site]
+        total = 0
+        for point in self.stalls:
+            if point.site != site or count < point.first_hit:
+                continue
+            if point.last_hit is not None and count > point.last_hit:
+                continue
+            if (count - point.first_hit) % point.every:
+                continue
+            point.hits += 1
+            total += point.depth
+        if total:
+            mreg = _metrics.ACTIVE
+            if mreg is not None:
+                mreg.inc("faults.stalled", site=site)
+        return total
+
+    @property
+    def stalled_hits(self) -> int:
+        """Traversals that were slowed by any armed stall window."""
+        return sum(point.hits for point in self.stalls)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(points={list(self.points)!r}, counts={self.counts!r})"

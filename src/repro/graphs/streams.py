@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -32,6 +33,7 @@ __all__ = [
     "EdgeUpdate",
     "Batch",
     "JournalRecord",
+    "JournalTruncation",
     "UpdateJournal",
     "insertion_batches",
     "deletion_batches",
@@ -224,6 +226,26 @@ def validate_vertex_ids(batch: Batch) -> None:
 # ----------------------------------------------------------------------
 
 
+_JSON_DECODER = json.JSONDecoder()
+
+
+@dataclass(frozen=True)
+class JournalTruncation:
+    """Where a corrupt journal was cut and what the prefix preserved.
+
+    Attached to a journal loaded with ``UpdateJournal.load(path,
+    recover=True)``; ``line``/``column`` point at the first byte of the
+    record that failed to parse (1-based, the convention ``json`` error
+    messages use), ``detail`` is the underlying parse error.
+    """
+
+    records: int
+    committed: int
+    line: int
+    column: int
+    detail: str
+
+
 @dataclass
 class JournalRecord:
     """One journaled batch: the update set plus its transaction status.
@@ -261,6 +283,9 @@ class UpdateJournal:
 
     def __init__(self) -> None:
         self.records: list[JournalRecord] = []
+        #: set when this journal was loaded with ``recover=True`` from a
+        #: corrupt file: the cut point and what the prefix preserved.
+        self.truncation: JournalTruncation | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -330,9 +355,84 @@ class UpdateJournal:
             fh.write("\n")
 
     @classmethod
-    def load(cls, path: str) -> "UpdateJournal":
+    def load(cls, path: str, recover: bool = False) -> "UpdateJournal":
+        """Load a dumped journal, tolerating a corrupt/truncated tail.
+
+        A crash mid-:meth:`dump` leaves a file that parses only up to
+        some cut point.  The strict default raises ``ValueError`` naming
+        the path, the cut point (line:column), and how many intact
+        records a recovery would keep — never a traceback through
+        ``json``.  ``recover=True`` instead returns a journal holding
+        the intact record prefix, with :attr:`truncation` describing
+        what was cut.
+        """
         with open(path, encoding="utf-8") as fh:
-            return cls.from_json_dict(json.load(fh))
+            text = fh.read()
+        try:
+            journal = cls.from_json_dict(json.loads(text))
+        except ValueError as exc:
+            prefix, truncation = cls._recover_prefix(text, str(exc))
+            if not recover:
+                raise ValueError(
+                    f"journal {path} is corrupt at line {truncation.line} "
+                    f"column {truncation.column} ({truncation.detail}); "
+                    f"{truncation.records} intact records "
+                    f"({truncation.committed} committed) are recoverable "
+                    f"with recover=True (CLI: repro journal --recover)"
+                ) from None
+            journal = prefix
+            journal.truncation = truncation
+        return journal
+
+    @classmethod
+    def _recover_prefix(
+        cls, text: str, detail: str
+    ) -> "tuple[UpdateJournal, JournalTruncation]":
+        """Scan the intact record prefix out of corrupt journal text.
+
+        Finds the ``"records"`` array and decodes one record object at a
+        time (``raw_decode``), stopping — and recording the cut point —
+        at the first record that fails to parse or to validate.
+        """
+        journal = cls()
+        match = re.search(r'"records"\s*:\s*\[', text)
+        pos = match.end() if match else len(text)
+        if match:
+            while True:
+                while pos < len(text) and text[pos] in " \t\r\n,":
+                    pos += 1
+                if pos >= len(text) or text[pos] == "]":
+                    break
+                try:
+                    raw, end = _JSON_DECODER.raw_decode(text, pos)
+                    record = JournalRecord(
+                        seq=int(raw["seq"]),
+                        insertions=tuple(
+                            (int(u), int(v)) for u, v in raw["insertions"]
+                        ),
+                        deletions=tuple(
+                            (int(u), int(v)) for u, v in raw["deletions"]
+                        ),
+                        status=raw["status"],
+                    )
+                    if record.status not in ("pending", "committed", "aborted"):
+                        break
+                except (ValueError, KeyError, TypeError):
+                    break
+                journal.records.append(record)
+                pos = end
+        line = text.count("\n", 0, pos) + 1
+        column = pos - text.rfind("\n", 0, pos)
+        truncation = JournalTruncation(
+            records=len(journal.records),
+            committed=sum(
+                1 for r in journal.records if r.status == "committed"
+            ),
+            line=line,
+            column=column,
+            detail=detail,
+        )
+        return journal, truncation
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         committed = sum(1 for r in self.records if r.status == "committed")

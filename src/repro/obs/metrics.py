@@ -127,6 +127,22 @@ class MetricsRegistry:
         hist = self._histograms.get(_key(name, labels))
         return hist.count if hist is not None else 0
 
+    def counter_series(
+        self, name: str
+    ) -> dict[tuple[tuple[str, str], ...], float]:
+        """All label combinations of counter ``name``, sorted by labels.
+
+        The per-tenant accounting views (``service.admission{tenant,
+        kind, outcome}``) enumerate through this: the soak artifact
+        cross-checks every rejection against the admission controller's
+        own outcome table without knowing tenant names in advance.
+        """
+        return {
+            labels: value
+            for (n, labels), value in sorted(self._counters.items())
+            if n == name
+        }
+
     # -- dumps ---------------------------------------------------------
 
     def to_json_dict(self) -> dict[str, Any]:

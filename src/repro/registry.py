@@ -55,11 +55,16 @@ __all__ = [
     "algorithm_spec",
     "application_keys",
     "application_spec",
+    "WorkloadSpec",
     "make_adapter",
     "make_application",
+    "make_workload",
     "rebuild_adapter",
     "register_algorithm",
     "register_application",
+    "register_workload",
+    "workload_keys",
+    "workload_spec",
 ]
 
 
@@ -569,4 +574,152 @@ register_application(ApplicationSpec(
     key="coloring-implicit",
     summary="implicit vertex coloring (Theorem 3.5 semantics)",
     factory=_app_factory("create_implicit_coloring_driver"),
+))
+
+
+# ----------------------------------------------------------------------
+# Workloads (update-stream generators, by name)
+# ----------------------------------------------------------------------
+
+#: ``factory(size, rounds, *, seed, batch_size) -> (initial_edges, batches)``.
+WorkloadFactory = Callable[..., tuple[list[tuple[int, int]], list[Batch]]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered update-stream generator.
+
+    ``adversarial`` marks the worst-case cascade generators from
+    :mod:`repro.graphs.adversarial` (cycle/cascade/clique/star);
+    ``churn`` is the benign temporal sliding-window workload.  Soak
+    tenant specs and ``repro adversary`` both resolve generators here
+    by key, so a config names its traffic shape declaratively instead
+    of importing generator functions.
+    """
+
+    key: str
+    summary: str
+    factory: WorkloadFactory
+    adversarial: bool = True
+
+
+_WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add ``spec`` to the workload registry; duplicates rejected."""
+    if spec.key in _WORKLOADS:
+        raise ValueError(f"workload key {spec.key!r} already registered")
+    _WORKLOADS[spec.key] = spec
+    return spec
+
+
+def workload_spec(key: str) -> WorkloadSpec:
+    """Look up one workload, or raise ``ValueError`` naming valid keys."""
+    try:
+        return _WORKLOADS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload key {key!r}; choose from {workload_keys()}"
+        ) from None
+
+
+def workload_keys(adversarial: bool | None = None) -> tuple[str, ...]:
+    """Registered workload keys, optionally filtered by ``adversarial``.
+
+    >>> workload_keys()
+    ('cycle', 'cascade', 'clique', 'star', 'churn')
+    >>> workload_keys(adversarial=False)
+    ('churn',)
+    """
+    return tuple(
+        key
+        for key, spec in _WORKLOADS.items()
+        if adversarial is None or spec.adversarial == adversarial
+    )
+
+
+def make_workload(
+    key: str,
+    size: int,
+    rounds: int,
+    *,
+    seed: int = 0,
+    batch_size: int | None = None,
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    """Build ``(initial_edges, batches)`` for one registered workload.
+
+    ``size`` scales the structure (cycle length, chain length, clique
+    size, star leaves, churn graph vertices — clamped to each shape's
+    minimum); ``rounds`` is the toggle/pulse count for adversarial
+    shapes and the approximate batch count for ``churn``.  ``seed`` and
+    ``batch_size`` only affect workloads with a random or re-batchable
+    stream (currently ``churn``); the adversarial shapes are fully
+    deterministic by construction.
+    """
+    if size < 1:
+        raise ValueError("workload size must be >= 1")
+    if rounds < 1:
+        raise ValueError("workload rounds must be >= 1")
+    return workload_spec(key).factory(size, rounds, seed=seed, batch_size=batch_size)
+
+
+def _adversarial_factory(fn_name: str, min_size: int) -> WorkloadFactory:
+    def build(
+        size: int,
+        rounds: int,
+        *,
+        seed: int = 0,
+        batch_size: int | None = None,
+    ) -> tuple[list[tuple[int, int]], list[Batch]]:
+        from .graphs import adversarial
+
+        return getattr(adversarial, fn_name)(max(min_size, size), rounds)
+
+    return build
+
+
+def _churn_factory(
+    size: int,
+    rounds: int,
+    *,
+    seed: int = 0,
+    batch_size: int | None = None,
+) -> tuple[list[tuple[int, int]], list[Batch]]:
+    from .graphs.generators import barabasi_albert
+    from .graphs.streams import sliding_window_batches
+
+    size = max(8, size)
+    edges = barabasi_albert(size, 3, seed=seed)
+    if batch_size is None:
+        batch_size = max(1, len(edges) // max(2, rounds))
+    window = max(batch_size, len(edges) // 2)
+    return [], sliding_window_batches(edges, window, batch_size)
+
+
+register_workload(WorkloadSpec(
+    key="cycle",
+    summary="n-cycle critical-edge toggle (max-cascade deletions)",
+    factory=_adversarial_factory("cycle_toggle", 3),
+))
+register_workload(WorkloadSpec(
+    key="cascade",
+    summary="dependency-chain toggle (longest sequential cascade)",
+    factory=_adversarial_factory("cascade_chain", 1),
+))
+register_workload(WorkloadSpec(
+    key="clique",
+    summary="k-clique build/teardown pulses (max level movement)",
+    factory=_adversarial_factory("clique_pulse", 3),
+))
+register_workload(WorkloadSpec(
+    key="star",
+    summary="star-center degree pulses (hub stress)",
+    factory=_adversarial_factory("star_pulse", 1),
+))
+register_workload(WorkloadSpec(
+    key="churn",
+    summary="temporal sliding-window churn over a power-law graph",
+    factory=_churn_factory,
+    adversarial=False,
 ))

@@ -7,6 +7,13 @@ queries are wait-free: they serve the last *published* read epoch and
 never block on (or observe) an in-flight ``apply_batch``.
 """
 
+from .admission import (
+    Admission,
+    AdmissionController,
+    AdmissionPolicy,
+    LoadSignals,
+    TenantQuota,
+)
 from .core import (
     AuditPolicy,
     BatchTelemetry,
@@ -18,11 +25,16 @@ from .core import (
 )
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
+    "AdmissionPolicy",
     "AuditPolicy",
     "BatchTelemetry",
     "CoreService",
+    "LoadSignals",
     "ReadResult",
     "RetryPolicy",
     "ServiceReader",
     "ServiceSnapshot",
+    "TenantQuota",
 ]

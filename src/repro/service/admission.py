@@ -1,0 +1,344 @@
+"""Admission control and backpressure for the serving layer.
+
+Crash safety (the journal + retry + degradation ladder) protects the
+engine from *faults*; this module protects it from *load*.  An
+:class:`AdmissionController` sits in front of ``CoreService.submit`` and
+decides, per tenant and per request, one of three explicit outcomes:
+
+``admitted``
+    The request may proceed; for writes the batch is applied.
+``rejected``
+    The tenant's token bucket is out of tokens.  The outcome carries a
+    ``retry_after`` hint (simulated time until the bucket refills enough
+    to cover the request's cost) so callers back off instead of
+    hammering the bucket.
+``shed``
+    The service-wide queue-depth bound is exceeded — the request is
+    dropped to protect latency for everyone, with a fixed ``retry_after``
+    backoff hint.
+
+Two live signals *tighten* admission without any configuration churn:
+
+- **Degradation ladder** (``CoreService.degraded``): while the service is
+  serving from a degraded engine, every tenant's token refill rate is
+  multiplied by ``AdmissionPolicy.degraded_factor`` (< 1), so recovery
+  work is not competing with a full write load.
+- **Backpressure** (:meth:`AdmissionController.observe`): after each
+  applied batch the service reports :class:`LoadSignals` — metered batch
+  depth, sharded cascade rounds, and shard lag (the depth gap between the
+  slowest and fastest shard, which a :class:`~repro.faults.StallPoint`
+  slow-shard injection inflates exactly like a genuinely slow shard
+  would).  When a signal crosses its policy threshold the controller
+  engages backpressure: refill rates are multiplied by
+  ``backpressure_factor`` and the queue bound drops to
+  ``backpressure_queue_limit``.  Release is hysteretic — the signals must
+  stay healthy for ``release_after`` consecutive batches.
+
+All clocks are *simulated* time (the same ``T_p`` currency as
+``BatchTelemetry.t_p``), so admission decisions are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..obs import metrics as _metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import BatchTelemetry
+
+__all__ = [
+    "TenantQuota",
+    "AdmissionPolicy",
+    "Admission",
+    "LoadSignals",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """A per-tenant token bucket: ``rate`` tokens/sim-second, ``burst`` cap."""
+
+    rate: float = 2.0
+    burst: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("quota rate must be > 0")
+        if self.burst <= 0:
+            raise ValueError("quota burst must be > 0")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds and factors governing admission and backpressure.
+
+    ``write_cost=None`` charges each write its batch size (updates are
+    the unit of work); reads always cost ``read_cost`` tokens.
+    ``depth_threshold=None`` disables the monolithic depth trigger —
+    sharded deployments normally rely on ``lag_threshold`` alone.
+    """
+
+    queue_limit: int = 12
+    backpressure_queue_limit: int = 4
+    lag_threshold: int = 2000
+    depth_threshold: int | None = None
+    rounds_threshold: int | None = None
+    release_after: int = 3
+    backpressure_factor: float = 0.5
+    degraded_factor: float = 0.5
+    shed_retry_after: float = 25.0
+    read_cost: float = 1.0
+    write_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1 or self.backpressure_queue_limit < 1:
+            raise ValueError("queue limits must be >= 1")
+        if not (0 < self.backpressure_factor <= 1):
+            raise ValueError("backpressure_factor must be in (0, 1]")
+        if not (0 < self.degraded_factor <= 1):
+            raise ValueError("degraded_factor must be in (0, 1]")
+        if self.release_after < 1:
+            raise ValueError("release_after must be >= 1")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "queue_limit": self.queue_limit,
+            "backpressure_queue_limit": self.backpressure_queue_limit,
+            "lag_threshold": self.lag_threshold,
+            "depth_threshold": self.depth_threshold,
+            "rounds_threshold": self.rounds_threshold,
+            "release_after": self.release_after,
+            "backpressure_factor": self.backpressure_factor,
+            "degraded_factor": self.degraded_factor,
+            "shed_retry_after": self.shed_retry_after,
+            "read_cost": self.read_cost,
+            "write_cost": self.write_cost,
+        }
+
+
+@dataclass(frozen=True)
+class LoadSignals:
+    """Live load signals sampled from the engine after each batch."""
+
+    depth: int = 0
+    rounds: int = 0
+    shard_lag: int = 0
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision; ``telemetry`` is set for admitted writes."""
+
+    outcome: str  # "admitted" | "rejected" | "shed"
+    tenant: str
+    kind: str  # "write" | "read"
+    retry_after: float = 0.0
+    reason: str = ""
+    telemetry: "BatchTelemetry | None" = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome == "admitted"
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    stamp: float
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus a hysteretic backpressure state.
+
+    Every decision is recorded twice: in the process-wide metrics
+    registry (``service.admission{tenant,kind,outcome}``) when one is
+    collecting, and in :attr:`outcomes` unconditionally — the soak
+    artifact's accounting invariant ("every rejection accounted") is
+    checked against the latter so it holds even without an obs session.
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.quotas: dict[str, TenantQuota] = dict(quotas or {})
+        self.default_quota = default_quota or TenantQuota()
+        self.backpressure = False
+        self.engaged_count = 0
+        self.outcomes: dict[tuple[str, str, str], int] = {}
+        self._buckets: dict[str, _Bucket] = {}
+        self._healthy_streak = 0
+        self._engaged_at: float | None = None
+        self._pressure_time = 0.0
+        self._last_signals = LoadSignals()
+
+    # -- quota machinery -----------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _effective_rate(self, tenant: str, degraded: bool) -> float:
+        rate = self.quota_for(tenant).rate
+        if degraded:
+            rate *= self.policy.degraded_factor
+        if self.backpressure:
+            rate *= self.policy.backpressure_factor
+        return rate
+
+    def _bucket(self, tenant: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = _Bucket(tokens=self.quota_for(tenant).burst, stamp=now)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _refill(self, tenant: str, now: float, degraded: bool) -> _Bucket:
+        bucket = self._bucket(tenant, now)
+        elapsed = now - bucket.stamp
+        if elapsed > 0:
+            rate = self._effective_rate(tenant, degraded)
+            burst = self.quota_for(tenant).burst
+            bucket.tokens = min(burst, bucket.tokens + elapsed * rate)
+            bucket.stamp = now
+        return bucket
+
+    # -- decisions ------------------------------------------------------
+
+    def admit(
+        self,
+        tenant: str,
+        *,
+        now: float,
+        cost: float,
+        kind: str = "write",
+        queue_depth: int = 0,
+        degraded: bool = False,
+    ) -> Admission:
+        """Decide one request.  ``now`` must be monotone per tenant."""
+        bucket = self._refill(tenant, now, degraded)
+        limit = (
+            self.policy.backpressure_queue_limit
+            if self.backpressure
+            else self.policy.queue_limit
+        )
+        if kind == "write" and queue_depth >= limit:
+            reason = (
+                "queue depth bound under backpressure"
+                if self.backpressure
+                else "queue depth bound"
+            )
+            return self._record(
+                Admission(
+                    "shed",
+                    tenant,
+                    kind,
+                    retry_after=self.policy.shed_retry_after,
+                    reason=f"{reason} ({queue_depth} >= {limit})",
+                )
+            )
+        # Incremental refills accumulate float dust; a deficit below
+        # epsilon must admit, or the retry hint becomes a subnormal wait
+        # that cannot advance simulated time (a Zeno retry storm).
+        deficit = cost - bucket.tokens
+        if deficit > 1e-9 * max(1.0, cost):
+            rate = self._effective_rate(tenant, degraded)
+            burst = self.quota_for(tenant).burst
+            if cost > burst:
+                # The bucket can never hold this many tokens; the hint is
+                # "effectively never" rather than a bogus finite wait.
+                retry_after = math.inf
+                reason = f"cost {cost:g} exceeds burst capacity {burst:g}"
+            else:
+                retry_after = deficit / rate
+                reason = f"quota exhausted (deficit {deficit:g})"
+            return self._record(
+                Admission(
+                    "rejected", tenant, kind, retry_after=retry_after, reason=reason
+                )
+            )
+        bucket.tokens = max(0.0, bucket.tokens - cost)
+        return self._record(Admission("admitted", tenant, kind))
+
+    def _record(self, decision: Admission) -> Admission:
+        key = (decision.tenant, decision.kind, decision.outcome)
+        self.outcomes[key] = self.outcomes.get(key, 0) + 1
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc(
+                "service.admission",
+                tenant=decision.tenant,
+                kind=decision.kind,
+                outcome=decision.outcome,
+            )
+        return decision
+
+    # -- backpressure ---------------------------------------------------
+
+    def observe(self, signals: LoadSignals, *, now: float = 0.0) -> bool:
+        """Feed post-batch load signals; returns the backpressure state."""
+        self._last_signals = signals
+        policy = self.policy
+        over = signals.shard_lag >= policy.lag_threshold
+        if policy.depth_threshold is not None:
+            over = over or signals.depth >= policy.depth_threshold
+        if policy.rounds_threshold is not None:
+            over = over or signals.rounds >= policy.rounds_threshold
+        mreg = _metrics.ACTIVE
+        if over:
+            self._healthy_streak = 0
+            if not self.backpressure:
+                self.backpressure = True
+                self.engaged_count += 1
+                self._engaged_at = now
+                if mreg is not None:
+                    mreg.inc("service.backpressure.engaged")
+        else:
+            self._healthy_streak += 1
+            if self.backpressure and self._healthy_streak >= policy.release_after:
+                self.backpressure = False
+                if self._engaged_at is not None:
+                    self._pressure_time += max(0.0, now - self._engaged_at)
+                    self._engaged_at = None
+                if mreg is not None:
+                    mreg.inc("service.backpressure.released")
+        if mreg is not None:
+            mreg.gauge("service.backpressure.active", 1 if self.backpressure else 0)
+            mreg.gauge("service.shard_lag", signals.shard_lag)
+        return self.backpressure
+
+    def pressure_time(self, now: float) -> float:
+        """Total simulated time spent under backpressure, up to ``now``."""
+        total = self._pressure_time
+        if self._engaged_at is not None:
+            total += max(0.0, now - self._engaged_at)
+        return total
+
+    # -- reporting ------------------------------------------------------
+
+    def outcome_counts(self, tenant: str, kind: str) -> dict[str, int]:
+        return {
+            outcome: count
+            for (t, k, outcome), count in sorted(self.outcomes.items())
+            if t == tenant and k == kind
+        }
+
+    def snapshot(self, now: float = 0.0) -> dict:
+        """A JSON-ready view of the controller for SLO artifacts."""
+        return {
+            "backpressure_active": self.backpressure,
+            "engaged_count": self.engaged_count,
+            "pressure_time": round(self.pressure_time(now), 9),
+            "last_signals": {
+                "depth": self._last_signals.depth,
+                "rounds": self._last_signals.rounds,
+                "shard_lag": self._last_signals.shard_lag,
+            },
+        }
+

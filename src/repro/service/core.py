@@ -50,10 +50,11 @@ Example
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterable, Mapping, Sequence
 
 from .. import faults as _faults
+from .admission import Admission, AdmissionController, AdmissionPolicy, LoadSignals
 from ..obs import metrics as _metrics
 from ..obs import tracing as _tracing
 from ..core.invariants import plds_invariant_violations, structure_matches_edges
@@ -391,6 +392,7 @@ class CoreService:
         application: str | None = None,
         retry: RetryPolicy | None = None,
         audit: AuditPolicy | None = None,
+        admission: AdmissionController | AdmissionPolicy | None = None,
         transactional: bool = True,
         epoch_start: int = 0,
         **engine_kwargs: Any,
@@ -403,6 +405,12 @@ class CoreService:
         self.application_key = application
         self.retry = retry if retry is not None else RetryPolicy()
         self.audit_policy = audit if audit is not None else AuditPolicy()
+        if isinstance(admission, AdmissionPolicy):
+            admission = AdmissionController(admission)
+        #: optional admission controller; ``None`` means every
+        #: :meth:`submit` is admitted unconditionally (apply_batch
+        #: semantics, plus an ``Admission`` wrapper).
+        self.admission = admission
         self.transactional = transactional
         self._engine_kwargs = dict(engine_kwargs)
         self.telemetry: list[BatchTelemetry] = []
@@ -547,8 +555,15 @@ class CoreService:
                 else None
             )
             try:
-                if _faults.ACTIVE is not None:
-                    _faults.ACTIVE.hit("service.apply")
+                plan = _faults.ACTIVE
+                if plan is not None:
+                    plan.hit("service.apply")
+                    # Slow-apply injection: an armed StallPoint charges
+                    # its depth here, inflating this batch's metered
+                    # depth (and t_p) exactly like a slow engine would.
+                    stall = plan.delay_for("service.apply")
+                    if stall:
+                        self._tracker().add(work=0, depth=stall)
                 if self._driver is not None:
                     self._driver.update(batch)
                 else:
@@ -635,6 +650,84 @@ class CoreService:
     def _tracker(self):
         impl = self._driver.plds if self._driver is not None else self._adapter.impl
         return impl.tracker
+
+    # -- admission-controlled serving (overload safety) ------------------
+
+    def submit(
+        self,
+        batch: Batch,
+        *,
+        tenant: str = "default",
+        now: float = 0.0,
+        queue_depth: int = 0,
+    ) -> Admission:
+        """Admission-checked :meth:`apply_batch` — the multi-tenant door.
+
+        With no :attr:`admission` controller the batch is applied
+        unconditionally.  Otherwise the controller decides first —
+        charging the tenant's token bucket the batch's update count (or
+        the policy's fixed ``write_cost``) and honoring the queue-depth
+        bound — and the batch is applied **only** on ``admitted``; a
+        ``rejected``/``shed`` decision returns immediately with its
+        ``retry_after`` hint and the engine never sees the batch.  After
+        an admitted apply the controller observes :meth:`load_signals`,
+        which is where backpressure engages and releases.
+
+        ``now`` is simulated time (the ``t_p`` currency), ``queue_depth``
+        is the caller's view of its pending pipeline — the service is
+        synchronous, so queue state lives with the traffic source.
+        """
+        if self.admission is None:
+            telemetry = self.apply_batch(batch)
+            return Admission("admitted", tenant, "write", telemetry=telemetry)
+        policy = self.admission.policy
+        cost = policy.write_cost if policy.write_cost is not None else max(1, len(batch))
+        decision = self.admission.admit(
+            tenant,
+            now=now,
+            cost=cost,
+            kind="write",
+            queue_depth=queue_depth,
+            degraded=self.degraded,
+        )
+        if not decision.admitted:
+            return decision
+        telemetry = self.apply_batch(batch)
+        self.admission.observe(self.load_signals(), now=now)
+        return replace(decision, telemetry=telemetry)
+
+    def admit_read(
+        self, tenant: str = "default", *, now: float = 0.0, cost: float | None = None
+    ) -> Admission:
+        """Admission decision for one read; reads never queue or shed.
+
+        Callers pair this with :meth:`reader` — admitted reads are
+        served wait-free from the published epoch; rejected reads carry
+        a ``retry_after`` hint like writes do.
+        """
+        if self.admission is None:
+            return Admission("admitted", tenant, "read")
+        if cost is None:
+            cost = self.admission.policy.read_cost
+        return self.admission.admit(
+            tenant, now=now, cost=cost, kind="read", degraded=self.degraded
+        )
+
+    def load_signals(self) -> LoadSignals:
+        """Live overload signals for the admission controller.
+
+        ``depth`` is the last batch's metered depth (includes injected
+        ``service.apply`` stalls and retry backoff); ``rounds`` and
+        ``shard_lag`` come from the sharded coordinator when the engine
+        is sharded (a stalled shard inflates its scatter depth, so lag =
+        slowest − fastest shard depth spikes), else stay 0.
+        """
+        impl = self._driver.plds if self._driver is not None else self._adapter.impl
+        depth = self.telemetry[-1].depth if self.telemetry else 0
+        rounds = int(getattr(impl, "last_rounds", 0))
+        lag_fn = getattr(impl, "shard_lag", None)
+        shard_lag = int(lag_fn()) if callable(lag_fn) else 0
+        return LoadSignals(depth=depth, rounds=rounds, shard_lag=shard_lag)
 
     # -- epoch publication (the commit-publish protocol) -----------------
 

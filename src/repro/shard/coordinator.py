@@ -123,6 +123,10 @@ class Coordinator:
         #: vertices moved by the last update(); ``None`` = publish fully.
         self.last_moved: set[int] | None = None
         self._levels_reshaped = False
+        #: overload signals from the last batch: cascade rounds and the
+        #: per-shard scatter depth vector (admission-control inputs).
+        self.last_rounds = 0
+        self.last_shard_depths: list[int] = [0] * self.num_shards
 
     # -- conveniences ---------------------------------------------------
 
@@ -234,15 +238,39 @@ class Coordinator:
         ins, dels = self._clean_batch(batch)
         result = UpdateResult()
         engine = self.engine
+        self.last_rounds = 0
+        self.last_shard_depths = [0] * self.num_shards
         if ins:
             self._scatter(ins, insert=True)
-            engine.cascade_rounds("rise")
+            rounds, _ = engine.cascade_rounds("rise")
+            self.last_rounds += rounds
         if dels:
             self._scatter(dels, insert=False)
-            engine.cascade_rounds("desaturate")
+            rounds, _ = engine.cascade_rounds("desaturate")
+            self.last_rounds += rounds
         result.moved_vertices = engine.take_moved()
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.gauge("shard.lag", self.shard_lag())
         self._maybe_rebuild()
         return result
+
+    def shard_lag(self) -> int:
+        """Depth gap between the slowest and fastest *active* shard.
+
+        The admission controller's slow-shard signal: balanced shards
+        keep the gap near zero, while one stalled shard (an armed
+        :class:`~repro.faults.StallPoint` at ``shard.apply``, or a
+        genuinely slow replica) makes its scatter depth tower over the
+        rest.  With a single active shard the gap is its full depth —
+        one shard doing all the work *is* maximal imbalance.
+        """
+        active = [d for d in self.last_shard_depths if d > 0]
+        if not active:
+            return 0
+        if len(active) == 1:
+            return active[0]
+        return max(active) - min(active)
 
     def _clean_batch(
         self, batch: Batch
@@ -324,6 +352,7 @@ class Coordinator:
             total += delta.work
             if delta.depth > deepest:
                 deepest = delta.depth
+            self.last_shard_depths[s] += delta.depth
             if insert:
                 engine.register_ghosts(s, out)
             else:
@@ -355,6 +384,13 @@ class Coordinator:
                     # Fires *after* the mutation: an injected crash here
                     # forces a real shard-local rollback, not a no-op.
                     plan.hit("shard.apply")
+                    # Slow-shard injection: stall depth lands on *this*
+                    # kernel's tracker inside the scatter delta window,
+                    # so it shows up in shard_lag() like a genuinely
+                    # slow shard (and in the folded engine depth).
+                    stall = plan.delay_for("shard.apply")
+                    if stall:
+                        kernel.tracker.add(work=0, depth=stall)
                 return out
             except InjectedFault:
                 if state is not None:

@@ -1,0 +1,23 @@
+"""Multi-tenant traffic modeling and the chaos-armed soak harness.
+
+:class:`TenantSpec` / :class:`TrafficMix` describe *who* sends traffic
+and with what shape (arrival process, read/write mix, hot-key skew,
+registered workload); :class:`SoakRunner` drives a shared,
+admission-controlled :class:`~repro.service.CoreService` with a mix for
+N simulated seconds — faults and stalls armed — and emits a
+bit-reproducible per-tenant SLO artifact.  See :mod:`repro.traffic.soak`
+for the full model and ``repro soak`` for the CLI entry point.
+"""
+
+from .soak import SoakConfig, SoakRunner, StallWindow
+from .tenants import ARRIVALS, TenantSpec, TrafficMix, default_mix
+
+__all__ = [
+    "ARRIVALS",
+    "SoakConfig",
+    "SoakRunner",
+    "StallWindow",
+    "TenantSpec",
+    "TrafficMix",
+    "default_mix",
+]

@@ -1,0 +1,202 @@
+"""Multi-tenant traffic modeling: who sends what, when, and how skewed.
+
+A :class:`TenantSpec` describes one tenant's traffic shape — arrival
+process, read/write mix, hot-key skew, and which registered workload
+(:func:`repro.registry.make_workload`) generates its update stream.  A
+:class:`TrafficMix` is the set of tenants a soak run interleaves onto
+one shared :class:`~repro.service.CoreService`.
+
+Everything is driven by seeded :class:`random.Random` streams keyed on
+``(seed, tenant name)``, and all clocks are *simulated* seconds (the
+``T_p`` currency of :class:`~repro.parallel.scheduler.BrentScheduler`),
+so a mix replays bit-identically: same seed, same arrivals, same keys.
+
+Arrival processes
+-----------------
+``poisson``
+    Memoryless arrivals at ``rate`` requests per simulated second.
+``bursty``
+    A square-wave modulated Poisson process: during the first
+    ``duty_cycle`` fraction of every ``period`` the instantaneous rate
+    is ``rate * burst_factor``; off-phase it drops to ``rate / 4``.
+    This is the open-loop stampede that exercises shedding.
+``diurnal``
+    Sinusoidal modulation with period ``period`` — a slow tide between
+    roughly 0.05x and 2x the base rate, modeling day/night cycles.
+
+Hot-key skew
+------------
+Read keys are drawn from the tenant's own vertex range with a
+power-law-ish transform: ``index = floor(span * u**(1 + hot_key_skew))``
+for uniform ``u`` — ``hot_key_skew = 0`` is uniform, larger values
+concentrate reads on a small hot head, stressing any per-key path.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..registry import workload_keys
+from ..service.admission import TenantQuota
+
+__all__ = [
+    "ARRIVALS",
+    "TenantSpec",
+    "TrafficMix",
+    "default_mix",
+    "next_arrival_gap",
+    "pick_read_vertex",
+]
+
+#: Supported arrival process names, in documentation order.
+ARRIVALS: tuple[str, ...] = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape (see module docstring for semantics)."""
+
+    name: str
+    rate: float = 0.05
+    read_fraction: float = 0.5
+    arrival: str = "poisson"
+    burst_factor: float = 6.0
+    period: float = 400.0
+    duty_cycle: float = 0.25
+    hot_key_skew: float = 1.0
+    workload: str = "churn"
+    workload_size: int = 40
+    workload_rounds: int = 64
+    batch_size: int = 8
+    quota: TenantQuota | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rate <= 0:
+            raise ValueError("tenant rate must be > 0")
+        if not (0 <= self.read_fraction <= 1):
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; choose from {ARRIVALS}"
+            )
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if self.period <= 0:
+            raise ValueError("period must be > 0")
+        if not (0 < self.duty_cycle < 1):
+            raise ValueError("duty_cycle must be in (0, 1)")
+        if self.hot_key_skew < 0:
+            raise ValueError("hot_key_skew must be >= 0")
+        if self.workload not in workload_keys():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from {workload_keys()}"
+            )
+        if self.workload_size < 1 or self.workload_rounds < 1:
+            raise ValueError("workload_size and workload_rounds must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "read_fraction": self.read_fraction,
+            "arrival": self.arrival,
+            "burst_factor": self.burst_factor,
+            "period": self.period,
+            "duty_cycle": self.duty_cycle,
+            "hot_key_skew": self.hot_key_skew,
+            "workload": self.workload,
+            "workload_size": self.workload_size,
+            "workload_rounds": self.workload_rounds,
+            "batch_size": self.batch_size,
+            "quota": (
+                None
+                if self.quota is None
+                else {"rate": self.quota.rate, "burst": self.quota.burst}
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """The tenant set one soak run interleaves onto a shared service."""
+
+    tenants: tuple[TenantSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("a traffic mix needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in mix: {names}")
+
+    def to_json_dict(self) -> dict:
+        return {"tenants": [t.to_json_dict() for t in self.tenants]}
+
+
+def next_arrival_gap(spec: TenantSpec, rng: random.Random, now: float) -> float:
+    """Seeded gap to the tenant's next request arrival, from ``now``.
+
+    The modulated processes sample the instantaneous rate at ``now``
+    and draw an exponential gap from it — a standard (and deterministic)
+    approximation that slightly smears phase boundaries.
+    """
+    rate = spec.rate
+    if spec.arrival == "bursty":
+        phase = (now % spec.period) / spec.period
+        rate = rate * spec.burst_factor if phase < spec.duty_cycle else rate / 4.0
+    elif spec.arrival == "diurnal":
+        wave = (1.0 + math.sin(2.0 * math.pi * now / spec.period)) / 2.0
+        rate = rate * max(0.05, 2.0 * wave)
+    return rng.expovariate(rate)
+
+
+def pick_read_vertex(spec: TenantSpec, rng: random.Random, span: int) -> int:
+    """A hot-key-skewed vertex index in ``[0, span)`` (tenant-local)."""
+    if span <= 1:
+        return 0
+    u = rng.random()
+    return min(span - 1, int(span * u ** (1.0 + spec.hot_key_skew)))
+
+
+def default_mix(
+    n_tenants: int,
+    *,
+    rate: float = 0.05,
+    workload_size: int = 40,
+    workload_rounds: int = 64,
+    quota: TenantQuota | None = None,
+) -> TrafficMix:
+    """A representative mix: bursty writer, read-heavy, diurnal, adversarial.
+
+    Templates cycle, so any ``n_tenants >= 1`` gets a diverse blend; the
+    first two tenants (a bursty write-heavy one and a steady read-heavy
+    one) are the canonical overload pair the acceptance gate soaks.
+    """
+    if n_tenants < 1:
+        raise ValueError("need at least one tenant")
+    templates: tuple[dict, ...] = (
+        {"arrival": "bursty", "read_fraction": 0.35, "workload": "churn",
+         "hot_key_skew": 1.5},
+        {"arrival": "poisson", "read_fraction": 0.8, "workload": "churn",
+         "hot_key_skew": 0.5},
+        {"arrival": "diurnal", "read_fraction": 0.5, "workload": "cycle"},
+        {"arrival": "poisson", "read_fraction": 0.2, "workload": "star"},
+    )
+    tenants = tuple(
+        TenantSpec(
+            name=f"tenant{i}",
+            rate=rate,
+            workload_size=workload_size,
+            workload_rounds=workload_rounds,
+            quota=quota,
+            **templates[i % len(templates)],
+        )
+        for i in range(n_tenants)
+    )
+    return TrafficMix(tenants=tenants)

@@ -155,3 +155,93 @@ class TestService:
         )
         assert code == 0
         assert "algorithm=zhang" in out
+
+
+@pytest.mark.soak
+class TestSoak:
+    def test_small_soak_writes_artifact(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "soak", "--tenants", "2", "--horizon", "120",
+            "--seed", "3", "--label", "t", "--output-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "soak SLO check: OK" in out
+        import json
+
+        report = json.loads((tmp_path / "SOAK_t.json").read_text())
+        assert report["ok"] and not report["interrupted"]
+        assert set(report["tenants"]) == {"tenant0", "tenant1"}
+
+    def test_same_seed_reruns_bit_identically(self, capsys, tmp_path):
+        argv = ["soak", "--tenants", "2", "--horizon", "100", "--seed", "7",
+                "--fault-rate", "0.1", "--label", "x",
+                "--output-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = (tmp_path / "SOAK_x.json").read_bytes()
+        assert main(argv) == 0
+        assert (tmp_path / "SOAK_x.json").read_bytes() == first
+        capsys.readouterr()
+
+    def test_interrupt_flushes_partial_artifact(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.traffic import SoakRunner
+
+        def interrupted_run(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SoakRunner, "run", interrupted_run)
+        code = main([
+            "soak", "--tenants", "2", "--horizon", "60",
+            "--label", "part", "--output-dir", str(tmp_path),
+        ])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "interrupted" in err and "flushed partial" in err
+        import json
+
+        report = json.loads((tmp_path / "SOAK_part.json").read_text())
+        assert report["interrupted"] and not report["ok"]
+
+    def test_mismatched_stall_flags_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["soak", "--stall-from", "10"])
+
+
+@pytest.mark.soak
+class TestJournalCommand:
+    def _dump(self, tmp_path):
+        from repro.graphs.streams import Batch, UpdateJournal
+
+        journal = UpdateJournal()
+        journal.commit(journal.begin(Batch(insertions=[(0, 1), (1, 2)])))
+        journal.commit(journal.begin(Batch(insertions=[(2, 3)])))
+        path = tmp_path / "journal.json"
+        journal.dump(str(path))
+        return path
+
+    def test_inspects_intact_journal(self, capsys, tmp_path):
+        path = self._dump(tmp_path)
+        code, out = run_cli(capsys, "journal", str(path))
+        assert code == 0
+        assert "2 records (2 committed" in out
+        assert "replayable history: 2 batches" in out
+
+    def test_corrupt_journal_exits_2_without_traceback(
+        self, capsys, tmp_path
+    ):
+        path = self._dump(tmp_path)
+        path.write_text(path.read_text()[:150])
+        code = main(["journal", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "corrupt at line" in captured.err
+        assert "streams.py:" in captured.err     # file:line of the raise site
+        assert "Traceback" not in captured.err
+
+    def test_recover_salvages_prefix(self, capsys, tmp_path):
+        path = self._dump(tmp_path)
+        path.write_text(path.read_text()[:150])
+        code, out = run_cli(capsys, "journal", str(path), "--recover")
+        assert code == 0
+        assert "RECOVERED" in out

@@ -1,0 +1,421 @@
+"""Tests for the multi-tenant traffic layer and the soak harness.
+
+Covers the workload registry, tenant/mix validation, the admission
+controller (token buckets, shedding, backpressure hysteresis, degraded
+tightening), the service-level submit path, and the SoakRunner's SLO
+artifact — including the bit-identical-replay and zero-consistency-
+violation acceptance gates.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import faults
+from repro.graphs.streams import Batch
+from repro.registry import make_workload, workload_keys
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    AuditPolicy,
+    CoreService,
+    LoadSignals,
+    TenantQuota,
+)
+from repro.traffic import (
+    SoakConfig,
+    SoakRunner,
+    StallWindow,
+    TenantSpec,
+    TrafficMix,
+    default_mix,
+)
+from repro.traffic.tenants import next_arrival_gap, pick_read_vertex
+
+pytestmark = pytest.mark.soak
+
+
+# ---------------------------------------------------------------------------
+# Workload registry
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadRegistry:
+    def test_all_keys_registered(self):
+        assert workload_keys() == ("cycle", "cascade", "clique", "star", "churn")
+
+    def test_adversarial_filter(self):
+        assert "churn" not in workload_keys(adversarial=True)
+        assert workload_keys(adversarial=False) == ("churn",)
+
+    def test_unknown_key_names_choices(self):
+        with pytest.raises(ValueError, match="cycle"):
+            make_workload("nope", 10, 4)
+
+    def test_adversarial_workloads_produce_batches(self):
+        for key in workload_keys(adversarial=True):
+            initial, batches = make_workload(key, 10, 3)
+            assert batches, key
+            assert all(isinstance(b, Batch) for b in batches)
+
+    def test_churn_workload_is_seeded(self):
+        a = make_workload("churn", 30, 8, seed=5)
+        b = make_workload("churn", 30, 8, seed=5)
+        c = make_workload("churn", 30, 8, seed=6)
+        assert a[0] == b[0]
+        assert [bt.insertions for bt in a[1]] == [bt.insertions for bt in b[1]]
+        assert [bt.insertions for bt in a[1]] != [bt.insertions for bt in c[1]]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            make_workload("cycle", 0, 4)
+
+
+# ---------------------------------------------------------------------------
+# Tenant specs and arrival processes
+# ---------------------------------------------------------------------------
+
+
+class TestTenantSpec:
+    def test_rejects_bad_arrival(self):
+        with pytest.raises(ValueError, match="arrival"):
+            TenantSpec(name="t", arrival="lumpy")
+
+    def test_rejects_unregistered_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            TenantSpec(name="t", workload="nope")
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", read_fraction=1.5)
+
+    def test_mix_rejects_duplicate_names(self):
+        t = TenantSpec(name="t")
+        with pytest.raises(ValueError, match="duplicate"):
+            TrafficMix(tenants=(t, t))
+
+    def test_default_mix_is_diverse(self):
+        mix = default_mix(4)
+        names = [t.name for t in mix.tenants]
+        assert len(set(names)) == 4
+        arrivals = {t.arrival for t in mix.tenants}
+        assert "bursty" in arrivals and "poisson" in arrivals
+
+    def test_arrival_gaps_are_seeded(self):
+        spec = TenantSpec(name="t", rate=0.1, arrival="bursty")
+        a = [next_arrival_gap(spec, random.Random(1), float(i)) for i in range(20)]
+        b = [next_arrival_gap(spec, random.Random(1), float(i)) for i in range(20)]
+        assert a == b
+
+    def test_bursty_on_phase_is_faster(self):
+        spec = TenantSpec(
+            name="t", rate=0.1, arrival="bursty", period=100.0, duty_cycle=0.5
+        )
+        rng = random.Random(7)
+        on = sum(next_arrival_gap(spec, rng, 10.0) for _ in range(300)) / 300
+        off = sum(next_arrival_gap(spec, rng, 60.0) for _ in range(300)) / 300
+        assert on < off
+
+    def test_hot_key_skew_concentrates(self):
+        spec_flat = TenantSpec(name="a", hot_key_skew=0.0)
+        spec_hot = TenantSpec(name="b", hot_key_skew=4.0)
+        rng = random.Random(3)
+        flat = sum(pick_read_vertex(spec_flat, rng, 1000) for _ in range(500))
+        hot = sum(pick_read_vertex(spec_hot, rng, 1000) for _ in range(500))
+        assert hot < flat / 2
+        assert all(
+            0 <= pick_read_vertex(spec_hot, rng, 7) < 7 for _ in range(50)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Admission controller
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_bucket_rejects_then_refills(self):
+        ctl = AdmissionController(default_quota=TenantQuota(rate=1.0, burst=2.0))
+        assert ctl.admit("t", now=0.0, cost=2.0).admitted
+        rejected = ctl.admit("t", now=0.0, cost=2.0)
+        assert rejected.outcome == "rejected"
+        assert rejected.retry_after == pytest.approx(2.0)
+        # At the hinted time the bucket holds exactly enough again.
+        assert ctl.admit("t", now=rejected.retry_after, cost=2.0).admitted
+
+    def test_float_dust_deficit_still_admits(self):
+        """Refill rounding must not starve an affordable request.
+
+        A deficit of ~1e-12 tokens used to produce a subnormal
+        retry_after that could not advance simulated time — an infinite
+        retry storm at one frozen instant (Zeno's revenge).
+        """
+        ctl = AdmissionController(default_quota=TenantQuota(rate=2.0, burst=8.0))
+        ctl._bucket("t", 0.0).tokens = 8.0 - 1e-12
+        assert ctl.admit("t", now=0.0, cost=8.0).admitted
+        assert ctl._bucket("t", 0.0).tokens == 0.0
+
+    def test_cost_beyond_burst_is_hopeless(self):
+        ctl = AdmissionController(default_quota=TenantQuota(rate=1.0, burst=2.0))
+        decision = ctl.admit("t", now=0.0, cost=5.0)
+        assert decision.outcome == "rejected"
+        assert decision.retry_after == float("inf")
+
+    def test_queue_bound_sheds_writes_only(self):
+        ctl = AdmissionController(AdmissionPolicy(queue_limit=3))
+        shed = ctl.admit("t", now=0.0, cost=1.0, queue_depth=3)
+        assert shed.outcome == "shed"
+        assert shed.retry_after == ctl.policy.shed_retry_after
+        read = ctl.admit("t", now=0.0, cost=1.0, kind="read", queue_depth=99)
+        assert read.admitted
+
+    def test_backpressure_tightens_queue_bound(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=10, backpressure_queue_limit=2)
+        )
+        assert ctl.admit("t", now=0.0, cost=1.0, queue_depth=5).admitted
+        ctl.observe(LoadSignals(shard_lag=99999), now=1.0)
+        assert ctl.admit("t", now=1.0, cost=1.0, queue_depth=5).outcome == "shed"
+
+    def test_degraded_halves_refill_rate(self):
+        policy = AdmissionPolicy(degraded_factor=0.5)
+        healthy = AdmissionController(
+            policy, default_quota=TenantQuota(rate=1.0, burst=1.0)
+        )
+        degraded = AdmissionController(
+            policy, default_quota=TenantQuota(rate=1.0, burst=1.0)
+        )
+        healthy.admit("t", now=0.0, cost=1.0)
+        degraded.admit("t", now=0.0, cost=1.0, degraded=True)
+        r_h = healthy.admit("t", now=0.0, cost=1.0).retry_after
+        r_d = degraded.admit("t", now=0.0, cost=1.0, degraded=True).retry_after
+        assert r_d == pytest.approx(2.0 * r_h)
+
+    def test_hysteretic_release(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(lag_threshold=100, release_after=3)
+        )
+        assert ctl.observe(LoadSignals(shard_lag=500), now=1.0)
+        assert ctl.engaged_count == 1
+        # Two healthy batches are not enough; the third releases.
+        assert ctl.observe(LoadSignals(shard_lag=0), now=2.0)
+        assert ctl.observe(LoadSignals(shard_lag=0), now=3.0)
+        assert not ctl.observe(LoadSignals(shard_lag=0), now=4.0)
+        assert ctl.pressure_time(now=9.0) == pytest.approx(3.0)
+        # An unhealthy signal mid-streak resets the countdown.
+        ctl.observe(LoadSignals(shard_lag=500), now=5.0)
+        ctl.observe(LoadSignals(shard_lag=0), now=6.0)
+        assert ctl.observe(LoadSignals(shard_lag=500), now=7.0)
+        assert ctl.engaged_count == 2
+
+    def test_every_outcome_accounted(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=1),
+            default_quota=TenantQuota(rate=1.0, burst=1.0),
+        )
+        ctl.admit("t", now=0.0, cost=1.0)
+        ctl.admit("t", now=0.0, cost=1.0)
+        ctl.admit("t", now=0.0, cost=1.0, queue_depth=5)
+        ctl.admit("t", now=0.0, cost=1.0, kind="read")
+        assert ctl.outcome_counts("t", "write") == {
+            "admitted": 1, "rejected": 1, "shed": 1,
+        }
+        assert ctl.outcome_counts("t", "read") == {"rejected": 1}
+
+
+# ---------------------------------------------------------------------------
+# Service-level submit / admit_read
+# ---------------------------------------------------------------------------
+
+
+def _edges(n: int = 40) -> list[tuple[int, int]]:
+    from repro.graphs.generators import barabasi_albert
+
+    return barabasi_albert(n, 3, seed=9)
+
+
+class TestServiceSubmit:
+    def test_no_controller_admits_unconditionally(self):
+        svc = CoreService("pldsopt", n_hint=64)
+        decision = svc.submit(Batch(insertions=_edges()[:10]))
+        assert decision.admitted
+        assert decision.telemetry is not None
+        assert svc.batches_applied == 1
+
+    def test_rejected_batch_never_reaches_engine(self):
+        svc = CoreService(
+            "pldsopt",
+            n_hint=64,
+            admission=AdmissionController(
+                default_quota=TenantQuota(rate=0.001, burst=1.0)
+            ),
+        )
+        decision = svc.submit(Batch(insertions=_edges()[:10]), tenant="t")
+        assert decision.outcome == "rejected"
+        assert decision.telemetry is None
+        assert svc.batches_applied == 0
+        assert svc.num_edges == 0
+
+    def test_degradation_ladder_tightens_admission(self):
+        """When the audit fires, the refill rate drops by degraded_factor."""
+        svc = CoreService(
+            "plds",
+            n_hint=1024,
+            audit=AuditPolicy("every"),
+            admission=AdmissionController(
+                AdmissionPolicy(write_cost=4.0, degraded_factor=0.5),
+                default_quota=TenantQuota(rate=1.0, burst=4.0),
+            ),
+        )
+        edges = _edges(60)
+        assert svc.submit(Batch(insertions=edges[:30]), now=0.0).admitted
+        # Desynchronize the engine from the mirror behind the service's
+        # back; the next audited apply degrades (ladder rung 1).
+        svc._adapter.update(Batch(insertions=[(900, 901)]))
+        assert svc.submit(Batch(insertions=edges[30:40]), now=4.0).admitted
+        assert svc.degraded
+        # Bucket is now empty; while degraded the deficit refills at half
+        # rate, so the hint is twice the healthy wait.
+        hint = svc.submit(Batch(insertions=edges[40:50]), now=4.0).retry_after
+        assert hint == pytest.approx(8.0)  # 4 tokens at 0.5/s, not 4.0s
+
+    def test_read_admission_accounted(self):
+        svc = CoreService(
+            "pldsopt",
+            n_hint=64,
+            admission=AdmissionController(
+                default_quota=TenantQuota(rate=1.0, burst=1.0)
+            ),
+        )
+        assert svc.admit_read("t", now=0.0).admitted
+        assert svc.admit_read("t", now=0.0).outcome == "rejected"
+        assert svc.admission.outcome_counts("t", "read") == {
+            "admitted": 1, "rejected": 1,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Backpressure end to end: slow shard in, backpressure on, recovery out
+# ---------------------------------------------------------------------------
+
+
+class TestSlowShardBackpressure:
+    def test_engages_and_releases(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(lag_threshold=2000, release_after=2),
+            default_quota=TenantQuota(rate=1000.0, burst=1000.0),
+        )
+        svc = CoreService("plds-sharded", n_hint=64, shards=4, admission=ctl)
+        edges = _edges(60)
+        chunks = [edges[i:i + 10] for i in range(0, 60, 10)]
+        plan = faults.FaultPlan()
+        with faults.active(plan):
+            assert svc.submit(Batch(insertions=chunks[0]), now=0.0).admitted
+            assert not ctl.backpressure
+            # One shard per scatter now stalls: lag spikes past threshold.
+            point = plan.stall(
+                "shard.apply", 5000, every=svc.engine.num_shards
+            )
+            svc.submit(Batch(insertions=chunks[1]), now=1.0)
+            assert ctl.backpressure
+            assert ctl.engaged_count == 1
+            assert svc.load_signals().shard_lag >= 2000
+            # Slow shard recovers; hysteresis holds one batch, then lets go.
+            plan.end_stall(point)
+            svc.submit(Batch(insertions=chunks[2]), now=2.0)
+            assert ctl.backpressure
+            svc.submit(Batch(insertions=chunks[3]), now=3.0)
+            assert not ctl.backpressure
+        assert plan.stalled_hits >= 1
+        assert ctl.pressure_time(now=3.0) == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# SoakRunner: the SLO artifact and its acceptance gates
+# ---------------------------------------------------------------------------
+
+
+def _small_config(**overrides) -> SoakConfig:
+    defaults = dict(
+        mix=default_mix(2, rate=0.08),
+        horizon=200.0,
+        seed=4,
+        label="test",
+    )
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestSoakRunner:
+    def test_same_seed_bit_identical_artifact(self):
+        a = SoakRunner(_small_config()).run()
+        b = SoakRunner(_small_config()).run()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_different_seed_differs(self):
+        a = SoakRunner(_small_config()).run()
+        b = SoakRunner(_small_config(seed=5)).run()
+        assert json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True)
+
+    def test_chaos_armed_run_stays_consistent(self):
+        report = SoakRunner(_small_config(fault_rate=0.2, seed=2)).run()
+        assert report["ok"]
+        assert report["faults"]["fired"] >= 1
+        cons = report["consistency"]
+        assert cons["reads_probed"] > 0
+        assert cons["reads_consistent"] == cons["reads_probed"]
+        assert cons["max_staleness"] <= 1
+        assert report["totals"]["errors"] == 0
+
+    def test_quota_exhausted_tenant_is_isolated(self):
+        starved = TenantSpec(
+            name="starved",
+            rate=0.1,
+            read_fraction=0.0,
+            quota=TenantQuota(rate=0.001, burst=1.0),  # burst < batch cost
+        )
+        healthy = TenantSpec(name="healthy", rate=0.05, read_fraction=0.3)
+        report = SoakRunner(
+            SoakConfig(
+                mix=TrafficMix(tenants=(starved, healthy)),
+                horizon=300.0,
+                seed=1,
+            )
+        ).run()
+        s = report["tenants"]["starved"]["writes"]
+        h = report["tenants"]["healthy"]["writes"]
+        assert s["admitted"] == 0
+        assert s["rejected"] > 0
+        assert h["admitted"] > 0 and h["rejected"] == 0
+        assert report["accounting_ok"]
+        assert report["ok"]
+
+    def test_stall_window_engages_backpressure(self):
+        report = SoakRunner(
+            SoakConfig(
+                mix=default_mix(2, rate=0.1),
+                horizon=500.0,
+                seed=11,
+                shards=4,
+                stall=StallWindow(start=100.0, end=400.0, depth=4000),
+            )
+        ).run()
+        assert report["faults"]["stalled_hits"] >= 1
+        assert report["backpressure"]["engaged_count"] >= 1
+        assert report["ok"]
+
+    def test_partial_report_is_marked_interrupted(self):
+        runner = SoakRunner(_small_config())
+        report = runner.report(True)
+        assert report["interrupted"]
+        assert not report["ok"]
+        # Not yet run: the artifact is still structurally complete.
+        assert set(report) >= {"tenants", "totals", "consistency", "config"}
+
+    def test_artifact_has_no_wall_clock_fields(self):
+        report = SoakRunner(_small_config(horizon=60.0)).run()
+        text = json.dumps(report)
+        assert "wall" not in text

@@ -114,6 +114,72 @@ def test_journal_rejects_bad_format_and_status():
         UpdateJournal.from_json_dict(bad)
 
 
+def _dump_truncated(tmp_path, cut: int) -> str:
+    """Dump a 3-record journal and chop the file after ``cut`` bytes."""
+    journal = UpdateJournal()
+    journal.commit(journal.begin(Batch(insertions=[(0, 1), (1, 2)])))
+    journal.commit(journal.begin(Batch(insertions=[(2, 3)])))
+    journal.abort(journal.begin(Batch(deletions=[(0, 1)])))
+    path = tmp_path / "journal.json"
+    journal.dump(str(path))
+    text = path.read_text()
+    path.write_text(text[:cut])
+    return str(path)
+
+
+def test_truncated_journal_strict_load_names_cut_point(tmp_path):
+    # Cut mid-way through the last record: a crash mid-dump.
+    path = _dump_truncated(tmp_path, cut=320)
+    with pytest.raises(ValueError) as excinfo:
+        UpdateJournal.load(path)
+    message = str(excinfo.value)
+    assert "corrupt at line" in message and "column" in message
+    assert "recover=True" in message
+    # The error is a clean ValueError, not a traceback through json.
+    assert excinfo.value.__cause__ is None
+
+
+def test_truncated_journal_recovers_intact_prefix(tmp_path):
+    path = _dump_truncated(tmp_path, cut=320)
+    journal = UpdateJournal.load(path, recover=True)
+    assert journal.truncation is not None
+    assert journal.truncation.records == len(journal.records)
+    assert journal.truncation.line >= 1 and journal.truncation.column >= 1
+    # Every recovered record is fully intact and replayable.
+    assert all(
+        r.status in ("committed", "aborted", "pending")
+        for r in journal.records
+    )
+    recovered = CoreService.from_journal(journal, "plds", n_hint=16)
+    assert recovered.batches_applied == sum(
+        1 for r in journal.records if r.status == "committed"
+    )
+
+
+def test_truncation_cut_points_are_monotone(tmp_path):
+    """Cutting earlier never recovers more records, and never crashes."""
+    full = _dump_truncated(tmp_path, cut=10**9)
+    size = len(open(full).read())
+    last = None
+    for cut in range(size, 0, -37):
+        path = _dump_truncated(tmp_path, cut=cut)
+        journal = UpdateJournal.load(path, recover=True)
+        if last is not None:
+            assert len(journal.records) <= last
+        last = len(journal.records)
+    assert last == 0  # a 1-byte file recovers nothing, quietly
+
+
+def test_intact_journal_recover_flag_is_noop(tmp_path):
+    journal = UpdateJournal()
+    journal.commit(journal.begin(Batch(insertions=[(0, 1)])))
+    path = tmp_path / "journal.json"
+    journal.dump(str(path))
+    loaded = UpdateJournal.load(str(path), recover=True)
+    assert loaded.truncation is None
+    assert [r.status for r in loaded.records] == ["committed"]
+
+
 def test_from_journal_replays_committed_prefix_bit_identically(tmp_path):
     svc = CoreService("pldsopt", n_hint=128)
     for batch in _mixed_stream():
