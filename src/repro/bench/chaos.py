@@ -34,6 +34,7 @@ from .. import faults
 from ..graphs.generators import barabasi_albert
 from ..graphs.streams import Batch, deletion_batches, insertion_batches
 from ..obs.metrics import MetricsRegistry, collecting
+from ..obs.timeline import Timeline, sampling
 from ..obs.tracing import Tracer, tracing
 from ..service import AuditPolicy, CoreService, RetryPolicy
 
@@ -197,6 +198,10 @@ class ChaosReport:
     #: metrics-registry JSON dump covering the whole experiment (baseline
     #: plus every trial) when tracing was on; ``None`` otherwise.
     metrics: dict | None = field(repr=False, default=None)
+    #: per-batch delta-encoded metric timeline over the whole experiment
+    #: (:meth:`repro.obs.timeline.Timeline.to_json_dict`) when tracing
+    #: was on; ``None`` otherwise.
+    timeline: dict | None = field(repr=False, default=None)
 
     @property
     def ok(self) -> bool:
@@ -219,6 +224,8 @@ class ChaosReport:
             data["trace"] = list(self.trace)
         if self.metrics is not None:
             data["metrics"] = self.metrics
+        if self.timeline is not None:
+            data["timeline"] = self.timeline
         return data
 
 
@@ -314,13 +321,14 @@ def run_chaos(
     n_hint = vertices + 1
 
     registry = MetricsRegistry() if trace else None
+    timeline = Timeline(registry) if trace else None
     trace_dicts: tuple[dict, ...] = ()
     references: list[dict] | None = None
     if trace:
         references = [{}]  # prefix 0: no batches applied yet
         record = lambda svc: references.append(dict(svc.coreness_map()))  # noqa: E731
         tracer = Tracer()
-        with collecting(registry), tracing(tracer):
+        with collecting(registry), tracing(tracer), sampling(timeline):
             baseline = _serve(
                 batches, algorithm, n_hint, None, on_commit=record
             ).coreness_map()
@@ -351,7 +359,11 @@ def run_chaos(
         service: CoreService | None = None
         try:
             if registry is not None:
-                with collecting(registry):
+                # One registry + timeline across every trial: ticks are
+                # per-service batch serials, so they restart at 1 per
+                # trial — the deltas still compose into one experiment
+                # history (all deterministic).
+                with collecting(registry), sampling(timeline):
                     service = _serve(batches, algorithm, n_hint, plan)
             else:
                 service = _serve(batches, algorithm, n_hint, plan)
@@ -408,4 +420,5 @@ def run_chaos(
         trials=tuple(results),
         trace=trace_dicts,
         metrics=registry.to_json_dict() if registry is not None else None,
+        timeline=timeline.to_json_dict() if timeline is not None else None,
     )

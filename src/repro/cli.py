@@ -33,8 +33,21 @@ Commands
     Chaos-armed multi-tenant soak: drive an admission-controlled
     service with a seeded traffic mix for N simulated seconds (crash
     faults + slow-shard stalls armed) and write a bit-reproducible
-    per-tenant SLO artifact ``SOAK_<label>.json``.  Ctrl-C flushes the
-    partial artifact (``interrupted: true``) before exiting 130.
+    per-tenant SLO artifact ``SOAK_<label>.json`` (with a delta-encoded
+    ``timeline`` section sampled every ``--sample-every`` simulated
+    seconds).  ``--flight-dir`` arms a flight recorder that dumps a
+    ``FLIGHT_<label>_*.json`` context capture whenever a fault fires,
+    backpressure engages, an audit fails, or the degradation ladder
+    advances.  Ctrl-C flushes the partial artifact
+    (``interrupted: true``) before exiting 130.
+``slo``
+    Evaluate declarative SLO rules (:mod:`repro.obs.slo`) against a
+    SOAK/CHAOS artifact; ``--gate`` exits 2 naming the first breached
+    rule and its window.
+``dash``
+    Deterministic terminal dashboard of any artifact with a
+    ``timeline`` section: per-tenant / per-shard / per-worker counter
+    series with sparklines, gauge trajectories, and the tenant table.
 ``journal``
     Inspect a dumped write-ahead :class:`UpdateJournal`; a corrupt or
     truncated file is reported with its cut point (exit 2), and
@@ -581,7 +594,7 @@ def cmd_metrics(args) -> int:
         for b in batches:
             svc.apply_batch(b)
     record_level_structure(registry, svc.engine)
-    if args.format == "prom":
+    if args.format in ("prom", "prometheus"):
         text = registry.to_prometheus()
     else:
         text = metrics_json(registry) + "\n"
@@ -639,6 +652,7 @@ def cmd_soak(args) -> int:
         default_quota=quota,
         verify_reads=not args.no_verify_reads,
         probe_every=args.probe_every,
+        sample_every=args.sample_every,
         label=args.label,
     )
     out_path = os.path.join(args.output_dir, f"SOAK_{args.label}.json")
@@ -655,7 +669,18 @@ def cmd_soak(args) -> int:
         + f", fault_rate={args.fault_rate}"
         + (f", stall [{stall.start:.0f}, {stall.end:.0f})" if stall else "")
     )
-    report = runner.run()
+    if args.flight_dir is not None:
+        from .obs.recorder import FlightRecorder, recording
+
+        os.makedirs(args.flight_dir, exist_ok=True)
+        recorder = FlightRecorder(label=args.label, out_dir=args.flight_dir)
+        with recording(recorder):
+            report = runner.run()
+        if recorder.dump_paths:
+            print(f"  flight dumps : {len(recorder.dump_paths)} "
+                  f"(under {args.flight_dir})")
+    else:
+        report = runner.run()
     _write_soak_artifact(out_path, report)
     print(f"{'tenant':10s} {'writes':>7s} {'adm':>6s} {'rej':>5s} {'shed':>5s} "
           f"{'p50':>8s} {'p99':>8s} {'reads':>6s} {'stale':>5s}")
@@ -681,6 +706,156 @@ def cmd_soak(args) -> int:
     print(f"wrote {out_path}")
     print(f"soak SLO check: {'OK' if report['ok'] else 'FAIL'}")
     return 0 if report["ok"] else 1
+
+
+def _load_artifact(path: str) -> dict:
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    if not isinstance(artifact, dict):
+        raise ValueError(f"{path}: expected a JSON object artifact")
+    return artifact
+
+
+def cmd_slo(args) -> int:
+    import dataclasses
+    import json
+
+    from .obs.slo import DEFAULT_RULES, evaluate_artifact, gate_report
+
+    artifact = _load_artifact(args.artifact)
+    overrides = {
+        "read-staleness": args.max_staleness,
+        "write-p99": args.p99_latency,
+        "rejection-rate": args.rejection_rate,
+        "degraded-fraction": args.degraded_fraction,
+        "rollback-burn": args.rollback_burn,
+    }
+    rules = tuple(
+        dataclasses.replace(r, threshold=overrides[r.name])
+        if overrides.get(r.name) is not None
+        else r
+        for r in DEFAULT_RULES
+    )
+    report = evaluate_artifact(artifact, rules=rules)
+    print(
+        f"slo: {artifact.get('kind', 'artifact')} label={report.label} "
+        f"rules={len(rules)}"
+    )
+    print(f"  {'rule':18s} {'kind':17s} {'observed':>9s} {'allowed':>9s} "
+          f"{'':7s} window")
+    for v in report.verdicts:
+        observed = "-" if v.observed is None else f"{v.observed:.3f}"
+        flag = "OK" if v.ok else "BREACH"
+        print(
+            f"  {v.rule:18s} {v.kind:17s} {observed:>9s} {v.allowed:9.3f} "
+            f"{flag:7s} {v.window}"
+            + (f"  ({v.detail})" if v.detail else "")
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.gate:
+        # Raises ValueError on breach -> exit 2 with file:line in main().
+        gate_report(report)
+        print("slo gate: OK")
+        return 0
+    print(f"slo check: {'OK' if report.ok else 'FAIL'} "
+          f"({len(report.breaches)} breach(es))")
+    return 0 if report.ok else 1
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values: list, width: int = 32) -> str:
+    """A fixed-palette sparkline; deterministic, at most ``width`` glyphs."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Evenly spaced downsample (keep first and last).
+        step = (len(values) - 1) / (width - 1)
+        values = [values[round(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_GLYPHS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK_GLYPHS[min(7, int((v - lo) / span * 8))] for v in values
+    )
+
+
+def cmd_dash(args) -> int:
+    from .obs.timeline import counter_totals, gauge_track, split_series_key
+
+    artifact = _load_artifact(args.artifact)
+    timeline = artifact.get("timeline")
+    if not isinstance(timeline, dict):
+        raise ValueError(
+            f"{args.artifact}: no 'timeline' section; rerun the producing "
+            "command with sampling on (`repro soak` samples by default, "
+            "`repro chaos` needs --trace)"
+        )
+    samples = timeline.get("samples", [])
+    print(
+        f"dash: {artifact.get('kind', 'artifact')} "
+        f"label={artifact.get('label', '?')} samples={len(samples)} "
+        f"dropped={timeline.get('dropped', 0)}"
+    )
+    # Counter series, bucketed by their distinguishing label so the
+    # per-tenant / per-shard / per-worker views line up.
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for key, total in sorted(counter_totals(samples).items()):
+        _, labels = split_series_key(key)
+        table = dict(labels)
+        if "tenant" in table:
+            bucket = "per-tenant"
+        elif "shard" in table:
+            bucket = "per-shard"
+        elif "worker" in table:
+            bucket = "per-worker"
+        else:
+            bucket = "service"
+        groups.setdefault(bucket, []).append((key, total))
+    for bucket in ("per-tenant", "per-shard", "per-worker", "service"):
+        rows = groups.get(bucket, [])
+        if not rows:
+            continue
+        print(f"  {bucket} counters{'':>{max(0, 46 - len(bucket))}s} "
+              f"{'total':>10s}  trajectory")
+        for key, total in rows[: args.limit]:
+            deltas = [s.get("counters", {}).get(key, 0.0) for s in samples]
+            print(f"    {key:52s} {total:10g}  {_spark(deltas)}")
+        if len(rows) > args.limit:
+            print(f"    ... {len(rows) - args.limit} more (raise --limit)")
+    gauge_keys = sorted({k for s in samples for k in s.get("gauges", {})})
+    if gauge_keys:
+        print(f"  gauges{'':>49s} {'last':>10s}  trajectory")
+        for key in gauge_keys[: args.limit]:
+            track = gauge_track(samples, key)
+            last = track[-1][1] if track else 0.0
+            print(f"    {key:52s} {last:10g}  "
+                  f"{_spark([v for _, v in track])}")
+        if len(gauge_keys) > args.limit:
+            print(f"    ... {len(gauge_keys) - args.limit} more "
+                  f"(raise --limit)")
+    tenants = artifact.get("tenants")
+    if isinstance(tenants, dict) and tenants:
+        print(f"  {'tenant':12s} {'writes':>7s} {'adm':>6s} {'rej':>5s} "
+              f"{'shed':>5s} {'p99':>8s} {'reads':>6s} {'stale':>5s}")
+        for name, t in tenants.items():
+            w, r = t["writes"], t["reads"]
+            p99 = (f"{w['p99_latency']:.0f}"
+                   if w.get("p99_latency") is not None else "-")
+            print(
+                f"  {name:12s} {w['events']:7d} {w['admitted']:6d} "
+                f"{w['rejected']:5d} {w['shed']:5d} {p99:>8s} "
+                f"{r['events']:6d} {r['max_staleness']:5d}"
+            )
+    return 0
 
 
 def cmd_journal(args) -> int:
@@ -867,7 +1042,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace a serving workload and export the span forest",
     )
     add_obs_workload(p)
-    p.add_argument("--output", default="repro.trace.json",
+    p.add_argument("--out", "--output", dest="output",
+                   default="repro.trace.json", metavar="PATH",
                    help="export path (default: repro.trace.json)")
     p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
                    help="chrome: trace_event JSON for chrome://tracing / "
@@ -879,11 +1055,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a serving workload and dump the metrics registry",
     )
     add_obs_workload(p)
-    p.add_argument("--format", choices=("prom", "json"), default="prom",
-                   help="prom: Prometheus text exposition; json: registry dump")
-    p.add_argument("--output", default=None,
-                   help="write here instead of stdout")
+    p.add_argument("--format", choices=("prometheus", "prom", "json"),
+                   default="prom",
+                   help="prometheus (alias: prom): text exposition; "
+                        "json: registry dump")
+    p.add_argument("--out", "--output", dest="output", default=None,
+                   metavar="PATH", help="write here instead of stdout")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate SLO rules against a SOAK/CHAOS artifact "
+             "(--gate: exit 2 on breach)",
+    )
+    p.add_argument("artifact", help="path to a SOAK_/CHAOS json artifact")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 2 naming the first breached rule and window "
+                        "instead of reporting exit 1")
+    p.add_argument("--out", "--output", dest="out", default=None,
+                   metavar="PATH", help="also write the SLO report as JSON")
+    p.add_argument("--max-staleness", type=float, default=None, metavar="N",
+                   help="override the read-staleness threshold (batches)")
+    p.add_argument("--p99-latency", type=float, default=None, metavar="T",
+                   help="override the write-p99 threshold (simulated units)")
+    p.add_argument("--rejection-rate", type=float, default=None, metavar="F",
+                   help="override the rejection-rate threshold in [0, 1]")
+    p.add_argument("--degraded-fraction", type=float, default=None,
+                   metavar="F",
+                   help="override the degraded-fraction threshold in [0, 1]")
+    p.add_argument("--rollback-burn", type=float, default=None, metavar="N",
+                   help="override the rollback-burn per-window budget")
+    p.set_defaults(fn=cmd_slo)
+
+    p = sub.add_parser(
+        "dash",
+        help="terminal dashboard of an artifact's metric timeline",
+    )
+    p.add_argument("artifact",
+                   help="path to an artifact with a 'timeline' section")
+    p.add_argument("--limit", type=int, default=12,
+                   help="rows per section (default: 12)")
+    p.set_defaults(fn=cmd_dash)
 
     p = sub.add_parser(
         "soak",
@@ -929,6 +1141,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="read-probe every Nth faultpoint traversal")
     p.add_argument("--no-verify-reads", action="store_true",
                    help="skip the mid-cascade read-consistency probes")
+    p.add_argument("--sample-every", type=float, default=25.0, metavar="T",
+                   help="timeline sampling grid in simulated seconds "
+                        "(0 disables the artifact's timeline section)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="arm a flight recorder; context dumps land here as "
+                        "FLIGHT_<label>_*.json when faults fire, "
+                        "backpressure engages, or the service degrades")
     p.add_argument("--label", default="local",
                    help="output file is SOAK_<label>.json")
     p.add_argument("--output-dir", default=".",

@@ -58,6 +58,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .obs import metrics as _metrics
+from .obs import recorder as _recorder
 from .parallel import engine as _engine
 
 __all__ = [
@@ -185,6 +186,9 @@ class FaultPlan:
             mreg = _metrics.ACTIVE
             if mreg is not None:
                 mreg.inc("faults.fired", site=site)
+            rec = _recorder.ACTIVE
+            if rec is not None:
+                rec.trip("fault", site=site, hit=count)
             raise InjectedFault(f"injected fault at {site} (hit {count})")
 
     def arm(self, point: FaultPoint) -> FaultPoint:
@@ -246,6 +250,9 @@ class FaultPlan:
             mreg = _metrics.ACTIVE
             if mreg is not None:
                 mreg.inc("faults.stalled", site=site)
+            rec = _recorder.ACTIVE
+            if rec is not None:
+                rec.note("fault.stall", site=site, depth=total)
         return total
 
     @property

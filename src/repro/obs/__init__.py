@@ -1,6 +1,6 @@
 """Observability for the metered PLDS stack: tracing, metrics, exporters.
 
-Three leaf modules, all zero-overhead when not installed (module-global
+Six leaf modules, all zero-overhead when not installed (module-global
 ``ACTIVE`` check per instrumentation point, the :mod:`repro.faults`
 pattern):
 
@@ -8,31 +8,58 @@ pattern):
   work/depth deltas plus wall time per phase.
 - :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
   with Prometheus-text and JSON dumps.
+- :mod:`repro.obs.timeline` — delta-encoded registry snapshots on
+  batch/tick boundaries: the ``timeline`` section of soak/chaos
+  artifacts.
+- :mod:`repro.obs.recorder` — bounded ring-buffer flight recorder
+  dumping ``FLIGHT_<label>.json`` when armed triggers fire.
+- :mod:`repro.obs.slo` — declarative SLO rules evaluated over
+  artifacts and their timelines (``repro slo``).
 - :mod:`repro.obs.export` — Chrome ``trace_event`` (Perfetto) and JSONL
-  span exporters.
+  span exporters, plus timeline counter events.
 
 See ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
-from . import export, metrics, tracing
-from .export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from . import export, metrics, recorder, slo, timeline, tracing
+from .export import (
+    timeline_counter_events,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .metrics import (
     MetricsRegistry,
     collecting,
     parse_prometheus,
     record_level_structure,
 )
+from .recorder import TRIGGERS, FlightRecorder
+from .slo import (
+    DEFAULT_RULES,
+    SLOReport,
+    SLORule,
+    SLOVerdict,
+    evaluate_artifact,
+    gate_report,
+)
+from .timeline import Timeline, counter_totals, gauge_track, series_key
 from .tracing import Span, Tracer, iter_spans, phase_totals, self_cost
 
 # NOTE: the submodules are deliberately NOT shadowed by same-named
 # re-exports — ``repro.obs.tracing`` must stay the module (hot paths do
-# ``from ..obs import tracing as _tracing`` and read ``_tracing.ACTIVE``).
-# The ``tracing()`` / ``collecting()`` context managers live one level
-# down: ``from repro.obs.tracing import tracing``.
+# ``from ..obs import tracing as _tracing`` and read ``_tracing.ACTIVE``;
+# likewise ``timeline`` and ``recorder``).  The ``tracing()`` /
+# ``collecting()`` / ``sampling()`` / ``recording()`` context managers
+# live one level down: ``from repro.obs.tracing import tracing``.
 
 __all__ = [
     "export",
     "metrics",
+    "recorder",
+    "slo",
+    "timeline",
     "tracing",
     "Span",
     "Tracer",
@@ -43,8 +70,21 @@ __all__ = [
     "collecting",
     "parse_prometheus",
     "record_level_structure",
+    "Timeline",
+    "counter_totals",
+    "gauge_track",
+    "series_key",
+    "FlightRecorder",
+    "TRIGGERS",
+    "SLORule",
+    "SLOVerdict",
+    "SLOReport",
+    "DEFAULT_RULES",
+    "evaluate_artifact",
+    "gate_report",
     "to_chrome_trace",
     "write_chrome_trace",
     "to_jsonl",
     "write_jsonl",
+    "timeline_counter_events",
 ]

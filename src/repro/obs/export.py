@@ -20,7 +20,7 @@ before children) with ``span_id``/``parent_id`` links and no nested
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 from .tracing import Span, iter_spans
 
@@ -29,13 +29,56 @@ __all__ = [
     "write_chrome_trace",
     "to_jsonl",
     "write_jsonl",
+    "timeline_counter_events",
 ]
 
 
+def timeline_counter_events(
+    samples: "Iterable[Mapping[str, Any]]", pid: int = 1
+) -> list[dict[str, Any]]:
+    """Timeline samples as Chrome ``"C"`` (counter) trace events.
+
+    Perfetto renders each distinct event ``name`` as a counter track;
+    emitting the *cumulative* value per series at each sample's tick
+    (microseconds, tick interpreted as simulated seconds) draws the
+    metric's trajectory alongside the span flame graph.  Gauges are
+    emitted at their sampled value.  Deterministic: series sorted per
+    sample, ticks already wall-clock-free.
+    """
+    events: list[dict[str, Any]] = []
+    running: dict[str, float] = {}
+    for entry in samples:
+        ts = round(float(entry["tick"]) * 1e6, 3)
+        for key in sorted(entry.get("counters", {})):
+            running[key] = running.get(key, 0) + entry["counters"][key]
+            events.append(
+                {
+                    "name": key,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {"value": running[key]},
+                }
+            )
+        for key in sorted(entry.get("gauges", {})):
+            events.append(
+                {
+                    "name": key,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {"value": entry["gauges"][key]},
+                }
+            )
+    return events
+
+
 def to_chrome_trace(
-    roots: Iterable[Span], process_name: str = "repro"
+    roots: Iterable[Span],
+    process_name: str = "repro",
+    timeline: "Iterable[Mapping[str, Any]] | None" = None,
 ) -> dict[str, Any]:
-    """Span forest as a Chrome ``trace_event`` JSON object."""
+    """Span forest (plus optional timeline counters) as Chrome JSON."""
     roots = list(roots)
     events: list[dict[str, Any]] = [
         {
@@ -46,6 +89,8 @@ def to_chrome_trace(
             "args": {"name": process_name},
         }
     ]
+    if timeline is not None:
+        events.extend(timeline_counter_events(timeline))
     if not roots:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
     epoch = min(span.start_s for span in roots)
@@ -75,11 +120,18 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(
-    path: str, roots: Iterable[Span], process_name: str = "repro"
+    path: str,
+    roots: Iterable[Span],
+    process_name: str = "repro",
+    timeline: "Iterable[Mapping[str, Any]] | None" = None,
 ) -> None:
     """Write :func:`to_chrome_trace` output to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(roots, process_name), fh, indent=1)
+        json.dump(
+            to_chrome_trace(roots, process_name, timeline=timeline),
+            fh,
+            indent=1,
+        )
         fh.write("\n")
 
 

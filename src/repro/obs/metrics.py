@@ -143,6 +143,32 @@ class MetricsRegistry:
             if n == name
         }
 
+    def flat_series(
+        self,
+    ) -> tuple[dict[str, float], dict[str, float], dict[str, tuple[int, float]]]:
+        """Every live series flattened to ``name{k=v,...}`` keys.
+
+        Returns ``(counters, gauges, histograms)`` where histogram
+        series map to ``(count, sum)``.  This is the read surface of
+        the :class:`repro.obs.timeline.Timeline` sampler and the
+        flight recorder's metric-delta capture — a fresh snapshot each
+        call, safe to retain as a delta baseline.
+        """
+
+        def flat(key: _Key) -> str:
+            name, labels = key
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        counters = {flat(k): v for k, v in self._counters.items()}
+        gauges = {flat(k): v for k, v in self._gauges.items()}
+        hists = {
+            flat(k): (h.count, h.sum) for k, h in self._histograms.items()
+        }
+        return counters, gauges, hists
+
     # -- dumps ---------------------------------------------------------
 
     def to_json_dict(self) -> dict[str, Any]:

@@ -1,0 +1,213 @@
+"""Flight recorder: a bounded ring of recent events, dumped on trigger.
+
+Post-mortems of a chaos run or a soak want the moments *around* an
+incident — the last few batches, rollbacks, stalls, and metric
+movement before a faultpoint fired or the degradation ladder engaged —
+not the whole run.  A :class:`FlightRecorder` keeps a bounded
+ring-buffer of structured events fed by cheap ``note()`` calls at the
+serving layer's cold paths, and when an **armed trigger** fires it
+freezes the ring plus a metric delta and recent span summaries into a
+dump, written as ``FLIGHT_<label>.json`` when an output directory is
+configured.
+
+Triggers (any subset can be armed; all by default):
+
+- ``fault`` — an armed faultpoint fired (:meth:`repro.faults.FaultPlan.hit`);
+- ``audit`` — a service invariant audit failed;
+- ``degrade`` — the degradation ladder advanced a rung
+  (``quarantine`` → ``rebuild`` → ``exactkcore``);
+- ``backpressure`` — the admission controller engaged backpressure;
+- ``slo`` — an SLO rule breached during evaluation
+  (:func:`repro.obs.slo.evaluate_artifact`).
+
+Determinism: events are sequenced by a monotone counter, metric deltas
+come from the deterministic registry, and span summaries strip the
+wall-clock fields (``start_s``, ``wall_seconds``) — a same-seed replay
+produces byte-identical dumps.
+
+Zero overhead when disabled
+---------------------------
+Identical contract to :mod:`repro.faults` / :mod:`repro.obs.metrics`:
+the installed recorder is the module global :data:`ACTIVE` (``None``
+by default) and every ``note``/``trip`` site is one module-global load
+plus a branch on a cold path (per batch, per rollback, per state
+transition) — never per vertex or per edge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+
+__all__ = [
+    "TRIGGERS",
+    "FlightRecorder",
+    "ACTIVE",
+    "install",
+    "clear",
+    "recording",
+]
+
+#: Every trigger a recorder can arm.
+TRIGGERS: tuple[str, ...] = (
+    "fault",
+    "audit",
+    "degrade",
+    "backpressure",
+    "slo",
+)
+
+
+def _span_summary(span: "_tracing.Span") -> dict[str, Any]:
+    """A span's deterministic surface: no wall-clock fields."""
+    return {
+        "name": span.name,
+        "work": span.work,
+        "depth": span.depth,
+        "error": span.error,
+        "attrs": dict(span.attrs),
+        "children": len(span.children),
+    }
+
+
+class FlightRecorder:
+    """Ring-buffered event capture with trigger-armed artifact dumps.
+
+    ``capacity`` bounds the ring (oldest events fall off); ``triggers``
+    selects which trigger kinds produce dumps (unarmed triggers are
+    still *noted* into the ring, they just don't dump); ``out_dir``
+    enables ``FLIGHT_<label>.json`` files — with ``out_dir=None`` dumps
+    only accumulate in :attr:`dumps`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        triggers: tuple[str, ...] = TRIGGERS,
+        label: str = "flight",
+        out_dir: str | None = None,
+        span_limit: int = 8,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        unknown = set(triggers) - set(TRIGGERS)
+        if unknown:
+            raise ValueError(f"unknown triggers: {sorted(unknown)}")
+        self.capacity = capacity
+        self.armed = frozenset(triggers)
+        self.label = label
+        self.out_dir = out_dir
+        self.span_limit = span_limit
+        self.events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.dumps: list[dict[str, Any]] = []
+        self.dump_paths: list[str] = []
+        self._seq = 0
+        self._last_counters: dict[str, float] = {}
+
+    # -- feeding the ring ---------------------------------------------
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Append one structured event to the ring (cheap, no dump)."""
+        self._seq += 1
+        event: dict[str, Any] = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def trip(self, trigger: str, **fields: Any) -> dict[str, Any] | None:
+        """Note a trigger event; dump the ring if ``trigger`` is armed.
+
+        Returns the dump dict when one was produced, else ``None``.
+        """
+        self.note("trigger." + trigger, **fields)
+        if trigger not in self.armed:
+            return None
+        return self._dump(trigger, fields)
+
+    # -- dumping -------------------------------------------------------
+
+    def _dump(self, trigger: str, detail: dict[str, Any]) -> dict[str, Any]:
+        dump: dict[str, Any] = {
+            "format": 1,
+            "kind": "flight",
+            "label": self.label,
+            "sequence": len(self.dumps) + 1,
+            "trigger": trigger,
+            "detail": dict(detail),
+            "events": [dict(event) for event in self.events],
+            "metrics_delta": self._metrics_delta(),
+            "spans": self._recent_spans(),
+        }
+        self.dumps.append(dump)
+        if self.out_dir is not None:
+            name = f"FLIGHT_{self.label}_{dump['sequence']:03d}_{trigger}.json"
+            path = os.path.join(self.out_dir, name)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(dump, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            self.dump_paths.append(path)
+        return dump
+
+    def _metrics_delta(self) -> dict[str, float]:
+        """Counter movement since the previous dump (or recorder birth)."""
+        registry = _metrics.ACTIVE
+        if registry is None:
+            return {}
+        counters, _, _ = registry.flat_series()
+        delta = {
+            key: value - self._last_counters.get(key, 0)
+            for key, value in counters.items()
+            if value != self._last_counters.get(key, 0)
+        }
+        self._last_counters = counters
+        return delta
+
+    def _recent_spans(self) -> list[dict[str, Any]]:
+        """Summaries of the most recent *closed* root spans, if tracing."""
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            return []
+        roots = tracer.roots[-self.span_limit:]
+        return [_span_summary(span) for span in roots]
+
+
+#: The installed recorder, consulted by every note/trip site; ``None``
+#: (the default) compiles each site down to a load-and-branch.
+ACTIVE: FlightRecorder | None = None
+
+
+def install(recorder: FlightRecorder) -> None:
+    """Make ``recorder`` the active flight recorder for all sites."""
+    global ACTIVE
+    ACTIVE = recorder
+
+
+def clear() -> None:
+    """Deactivate flight recording; all sites become no-ops again."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def recording(
+    recorder: FlightRecorder | None = None, **kwargs: Any
+) -> Iterator[FlightRecorder]:
+    """Scope a recorder to a ``with`` block, restoring the previous one."""
+    if recorder is None:
+        recorder = FlightRecorder(**kwargs)
+    elif kwargs:
+        raise ValueError("pass a recorder or keyword options, not both")
+    previous = ACTIVE
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        if previous is None:
+            clear()
+        else:
+            install(previous)

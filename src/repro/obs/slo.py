@@ -1,0 +1,361 @@
+"""Declarative SLOs over soak/chaos artifacts and their timelines.
+
+The soak harness (:mod:`repro.traffic.soak`) emits an artifact full of
+health numbers — staleness, latency percentiles, admission outcomes,
+degraded time — but deciding *pass or fail* was ad-hoc inline logic in
+CI.  This module makes the judgement declarative and deterministic:
+
+- :class:`SLORule` — one named objective: a rule *kind* (what to
+  measure), a ``threshold``, and optionally a sliding ``window`` (in
+  timeline samples) with a ``burn_rate`` tolerance;
+- :func:`evaluate_artifact` — apply rules to an artifact dict,
+  producing an :class:`SLOReport` of per-rule :class:`SLOVerdict`\\ s;
+- :func:`gate_report` — raise ``ValueError`` naming the first breached
+  rule and its window, which the CLI maps to exit code 2 with a
+  ``file:line`` site (``repro slo --gate``).
+
+Rule kinds
+----------
+``max_staleness``
+    Worst read staleness anywhere in the artifact (consistency block
+    and per-tenant reads).  Whole-run.
+``p99_latency``
+    Worst per-tenant p99 simulated write latency.  Whole-run.
+``rejection_rate``
+    ``(rejected + shed) / write events``.  Whole-run from ``totals``;
+    with ``window > 0`` and a timeline, *additionally* evaluated over
+    every sliding window of admission-counter deltas — a transient
+    rejection storm breaches even when the whole-run average is fine.
+``consistency``
+    Probed reads that failed the committed-prefix check
+    (``reads_probed - reads_consistent``).  Whole-run.
+``degraded_fraction``
+    Fraction of the simulated horizon spent degraded.  Whole-run.
+``counter_burn``
+    Budget burn for one counter ``series`` (flattened-key prefix, see
+    :func:`repro.obs.timeline.series_key`): ``threshold`` is the
+    per-window budget and ``burn_rate`` scales the allowance.
+    Requires a timeline; without one the rule reports "no timeline"
+    and passes vacuously.
+
+Windowed evaluation breaches when a window's observation exceeds
+``threshold * burn_rate``; whole-run evaluation uses the plain
+``threshold``.  Everything is computed from artifact JSON — replaying
+the same seed yields the same report, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from . import recorder as _recorder
+from . import timeline as _timeline
+
+__all__ = [
+    "RULE_KINDS",
+    "SLORule",
+    "SLOVerdict",
+    "SLOReport",
+    "DEFAULT_RULES",
+    "evaluate_artifact",
+    "gate_report",
+]
+
+RULE_KINDS: tuple[str, ...] = (
+    "max_staleness",
+    "p99_latency",
+    "rejection_rate",
+    "consistency",
+    "degraded_fraction",
+    "counter_burn",
+)
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One named service-level objective."""
+
+    name: str
+    kind: str
+    threshold: float
+    window: int = 0
+    burn_rate: float = 1.0
+    series: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown SLO rule kind {self.kind!r}")
+        if self.window < 0:
+            raise ValueError("window must be >= 0")
+        if self.burn_rate <= 0:
+            raise ValueError("burn_rate must be > 0")
+        if self.kind == "counter_burn" and not self.series:
+            raise ValueError("counter_burn rules need a series prefix")
+        if self.kind == "counter_burn" and self.window < 1:
+            raise ValueError("counter_burn rules need a window >= 1")
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """One rule's outcome against one artifact."""
+
+    rule: str
+    kind: str
+    ok: bool
+    observed: float | None
+    allowed: float
+    window: str
+    detail: str = ""
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "ok": self.ok,
+            "observed": self.observed,
+            "allowed": self.allowed,
+            "window": self.window,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Every verdict for one artifact; breaches first when sorting."""
+
+    label: str
+    verdicts: tuple[SLOVerdict, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def breaches(self) -> tuple[SLOVerdict, ...]:
+        return tuple(v for v in self.verdicts if not v.ok)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "format": 1,
+            "kind": "slo",
+            "label": self.label,
+            "ok": self.ok,
+            "breaches": len(self.breaches),
+            "verdicts": [v.to_json_dict() for v in self.verdicts],
+        }
+
+
+#: Defaults sized for the chaos-armed CI soak (stalls, faults, and
+#: backpressure are *expected*; the rules bound how bad they may get).
+#: Calibration points, from the CI config (3 tenants, horizon 1200,
+#: seed 11, 4 shards, fault_rate 0.08, stall [300, 600) depth 4000):
+#: staleness peaks at the designed one-in-flight-batch bound; p99
+#: simulated write latency reaches ~8.9k under the stall; shedding is
+#: *the mechanism* there, so whole-run refusal runs ~0.96; the worst
+#: 16-sample rollback burst is 3.  Thresholds sit 2-10x above the
+#: expected peaks — loose enough that designed-in degradation passes,
+#: tight enough that an unbounded regression still trips.
+DEFAULT_RULES: tuple[SLORule, ...] = (
+    SLORule("read-staleness", "max_staleness", threshold=1),
+    SLORule("write-p99", "p99_latency", threshold=25000.0),
+    SLORule("rejection-rate", "rejection_rate", threshold=0.98, window=16,
+            burn_rate=1.05),
+    SLORule("consistency", "consistency", threshold=0),
+    SLORule("degraded-fraction", "degraded_fraction", threshold=0.5),
+    SLORule(
+        "rollback-burn",
+        "counter_burn",
+        threshold=20,
+        window=16,
+        burn_rate=1.5,
+        series="service.rollbacks",
+    ),
+)
+
+
+def _samples(artifact: Mapping[str, Any]) -> list[dict[str, Any]]:
+    timeline = artifact.get("timeline")
+    if not isinstance(timeline, Mapping):
+        return []
+    samples = timeline.get("samples", [])
+    return samples if isinstance(samples, list) else []
+
+
+def _window_label(samples: list[dict[str, Any]], lo: int, hi: int) -> str:
+    return (
+        f"samples[{lo}:{hi}] tick {samples[lo]['tick']:g}"
+        f"..{samples[hi - 1]['tick']:g}"
+    )
+
+
+def _series_delta(
+    sample: Mapping[str, Any], match: "Any"
+) -> float:
+    total = 0.0
+    for key, delta in sample.get("counters", {}).items():
+        if match(key):
+            total += delta
+    return total
+
+
+def _admission_match(outcomes: tuple[str, ...]) -> "Any":
+    def match(key: str) -> bool:
+        name, labels = _timeline.split_series_key(key)
+        if name != "service.admission":
+            return False
+        table = dict(labels)
+        return table.get("kind") == "write" and table.get("outcome") in outcomes
+
+    return match
+
+
+def _eval_max_staleness(artifact: Mapping[str, Any]) -> float:
+    worst = float(
+        artifact.get("consistency", {}).get("max_staleness", 0) or 0
+    )
+    for tenant in artifact.get("tenants", {}).values():
+        worst = max(worst, float(tenant["reads"].get("max_staleness", 0) or 0))
+    return worst
+
+
+def _eval_p99(artifact: Mapping[str, Any]) -> float | None:
+    worst: float | None = None
+    for tenant in artifact.get("tenants", {}).values():
+        p99 = tenant["writes"].get("p99_latency")
+        if p99 is not None and (worst is None or p99 > worst):
+            worst = p99
+    return worst
+
+
+def _windowed_worst(
+    samples: list[dict[str, Any]],
+    window: int,
+    numerator: "Any",
+    denominator: "Any | None" = None,
+) -> tuple[float | None, str]:
+    """Worst sliding-window value of ``sum(numerator)[/sum(denominator)]``."""
+    worst: float | None = None
+    worst_label = ""
+    if len(samples) < window:
+        return None, ""
+    for lo in range(0, len(samples) - window + 1):
+        hi = lo + window
+        num = sum(_series_delta(samples[i], numerator) for i in range(lo, hi))
+        if denominator is not None:
+            den = sum(
+                _series_delta(samples[i], denominator) for i in range(lo, hi)
+            )
+            if den <= 0:
+                continue
+            value = num / den
+        else:
+            value = num
+        if worst is None or value > worst:
+            worst = value
+            worst_label = _window_label(samples, lo, hi)
+    return worst, worst_label
+
+
+def _evaluate_rule(
+    rule: SLORule, artifact: Mapping[str, Any]
+) -> SLOVerdict:
+    samples = _samples(artifact)
+    allowed = rule.threshold
+    window = "whole-run"
+    detail = ""
+    observed: float | None
+    if rule.kind == "max_staleness":
+        observed = _eval_max_staleness(artifact)
+    elif rule.kind == "p99_latency":
+        observed = _eval_p99(artifact)
+        if observed is None:
+            detail = "no write latencies"
+    elif rule.kind == "consistency":
+        block = artifact.get("consistency", {})
+        observed = float(
+            block.get("reads_probed", 0) - block.get("reads_consistent", 0)
+        )
+        detail = f"{block.get('reads_probed', 0)} reads probed"
+    elif rule.kind == "degraded_fraction":
+        horizon = float(artifact.get("clock", {}).get("end", 0) or 0)
+        time_degraded = float(artifact.get("degraded", {}).get("time", 0) or 0)
+        observed = time_degraded / horizon if horizon > 0 else 0.0
+    elif rule.kind == "rejection_rate":
+        totals = artifact.get("totals", {})
+        events = totals.get("write_events", 0)
+        refused = totals.get("rejected", 0) + totals.get("shed", 0)
+        observed = refused / events if events else 0.0
+        detail = f"{refused}/{events} writes refused"
+        if rule.window > 0 and samples:
+            worst, label = _windowed_worst(
+                samples,
+                rule.window,
+                _admission_match(("rejected", "shed")),
+                _admission_match(("admitted", "rejected", "shed")),
+            )
+            if worst is not None and worst > rule.threshold * rule.burn_rate:
+                observed, window = worst, label
+                allowed = rule.threshold * rule.burn_rate
+    else:  # counter_burn
+        if not samples:
+            return SLOVerdict(
+                rule.name, rule.kind, True, None, allowed,
+                window, "no timeline in artifact",
+            )
+        assert rule.series is not None
+        prefix = rule.series
+        worst, label = _windowed_worst(
+            samples, rule.window, lambda key: key.startswith(prefix)
+        )
+        allowed = rule.threshold * rule.burn_rate
+        if worst is None:
+            return SLOVerdict(
+                rule.name, rule.kind, True, None, allowed, window,
+                f"timeline shorter than window ({len(samples)} samples)",
+            )
+        observed, window = worst, label
+        detail = f"budget {rule.threshold:g}/window, burn_rate {rule.burn_rate:g}"
+    ok = observed is None or observed <= allowed
+    return SLOVerdict(rule.name, rule.kind, ok, observed, allowed, window, detail)
+
+
+def evaluate_artifact(
+    artifact: Mapping[str, Any],
+    rules: Iterable[SLORule] = DEFAULT_RULES,
+) -> SLOReport:
+    """Apply ``rules`` to one soak/chaos artifact dict.
+
+    Breached rules also trip the installed flight recorder's ``slo``
+    trigger (if any), so an SLO violation captures its surrounding
+    context exactly like a fault or a degradation does.
+    """
+    verdicts = tuple(_evaluate_rule(rule, artifact) for rule in rules)
+    report = SLOReport(
+        label=str(artifact.get("label", "artifact")), verdicts=verdicts
+    )
+    rec = _recorder.ACTIVE
+    if rec is not None:
+        for verdict in report.breaches:
+            rec.trip(
+                "slo",
+                rule=verdict.rule,
+                observed=verdict.observed,
+                allowed=verdict.allowed,
+                window=verdict.window,
+            )
+    return report
+
+
+def gate_report(report: SLOReport) -> None:
+    """Raise ``ValueError`` naming the first breach; no-op when ok."""
+    if report.ok:
+        return
+    breach = report.breaches[0]
+    observed = "n/a" if breach.observed is None else f"{breach.observed:g}"
+    raise ValueError(
+        f"SLO breach: {breach.rule} over {breach.window}: "
+        f"observed {observed} > allowed {breach.allowed:g}"
+        + (f" [{len(report.breaches)} rule(s) breached]"
+           if len(report.breaches) > 1 else "")
+    )

@@ -1,0 +1,219 @@
+"""Deterministic metric time-series: delta-encoded registry snapshots.
+
+End-of-run dumps (``repro metrics``, the chaos report's ``metrics``
+section) answer *what happened in total*; a :class:`Timeline` answers
+*when*.  It samples the active :class:`~repro.obs.metrics.MetricsRegistry`
+on batch/tick boundaries — :class:`~repro.service.CoreService` samples
+after every committed batch, :class:`~repro.traffic.soak.SoakRunner`
+on a simulated-time grid — and stores each sample **delta-encoded**:
+
+- counters: the increase since the previous sample (series that did not
+  move are omitted entirely);
+- gauges: the current value, recorded only when it changed;
+- histograms: the count/sum increase since the previous sample.
+
+Samples are keyed by a *tick* in simulated currency (batch serial or
+simulated seconds) and carry **no wall-clock fields**, so the
+``timeline`` section of a SOAK/CHAOS artifact is bit-identical across
+same-seed replays.  Series are flattened to ``name{k=v,...}`` strings
+(labels sorted) — the grep-able spelling ``repro dash`` and the SLO
+engine consume.
+
+Zero overhead when disabled
+---------------------------
+Identical contract to :mod:`repro.faults` / :mod:`repro.obs.metrics`:
+the installed timeline is the module global :data:`ACTIVE` (``None`` by
+default) and every sampling site is one module-global load plus a
+branch, per batch/tick — never per vertex or per edge.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from . import metrics as _metrics
+
+__all__ = [
+    "Timeline",
+    "series_key",
+    "split_series_key",
+    "counter_totals",
+    "gauge_track",
+    "ACTIVE",
+    "install",
+    "clear",
+    "sampling",
+]
+
+
+def series_key(name: str, labels: tuple[tuple[str, str], ...] = ()) -> str:
+    """Flatten ``(name, sorted labels)`` to ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Inverse of :func:`series_key` (exactly the emitted subset)."""
+    if not key.endswith("}"):
+        return key, ()
+    name, _, blob = key[:-1].partition("{")
+    if not blob:
+        return name, ()
+    labels = []
+    for part in blob.split(","):
+        k, sep, v = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed series key {key!r}")
+        labels.append((k, v))
+    return name, tuple(labels)
+
+
+class Timeline:
+    """A sequence of delta-encoded registry samples on tick boundaries.
+
+    ``registry=None`` (the default) reads whatever registry is installed
+    in :data:`repro.obs.metrics.ACTIVE` at each :meth:`sample` call, so
+    one ``Timeline`` can span nested ``collecting()`` scopes; pass a
+    registry explicitly to pin the source.  ``max_samples`` bounds
+    memory for very long runs — the oldest samples are dropped (counted
+    in :attr:`dropped`), deterministically.
+    """
+
+    def __init__(
+        self,
+        registry: "_metrics.MetricsRegistry | None" = None,
+        max_samples: int | None = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._registry = registry
+        self.max_samples = max_samples
+        self.samples: list[dict[str, Any]] = []
+        self.dropped = 0
+        self._last_counters: dict[str, float] = {}
+        self._last_gauges: dict[str, float] = {}
+        self._last_hist: dict[str, tuple[int, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def sample(self, tick: float, kind: str = "tick") -> dict[str, Any] | None:
+        """Snapshot the registry as one delta-encoded sample.
+
+        ``tick`` must be in a simulated currency (batch serial,
+        simulated seconds) — never wall clock.  Returns the appended
+        sample, or ``None`` when no registry is collecting.
+        """
+        registry = (
+            self._registry if self._registry is not None else _metrics.ACTIVE
+        )
+        if registry is None:
+            return None
+        counters, gauges, hists = registry.flat_series()
+        entry: dict[str, Any] = {"tick": tick, "kind": kind}
+        c_delta: dict[str, float] = {}
+        for key, value in counters.items():
+            delta = value - self._last_counters.get(key, 0)
+            if delta:
+                c_delta[key] = delta
+        g_delta: dict[str, float] = {}
+        for key, value in gauges.items():
+            if self._last_gauges.get(key) != value:
+                g_delta[key] = value
+        h_delta: dict[str, dict[str, float]] = {}
+        for key, (count, total) in hists.items():
+            prev_count, prev_sum = self._last_hist.get(key, (0, 0.0))
+            if count != prev_count:
+                h_delta[key] = {
+                    "count": count - prev_count,
+                    "sum": round(total - prev_sum, 9),
+                }
+        if c_delta:
+            entry["counters"] = c_delta
+        if g_delta:
+            entry["gauges"] = g_delta
+        if h_delta:
+            entry["histograms"] = h_delta
+        self._last_counters = counters
+        self._last_gauges = gauges
+        self._last_hist = hists
+        self.samples.append(entry)
+        if self.max_samples is not None and len(self.samples) > self.max_samples:
+            drop = len(self.samples) - self.max_samples
+            del self.samples[:drop]
+            self.dropped += drop
+        return entry
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The ``timeline`` artifact section (JSON-ready, no wall clock)."""
+        return {
+            "format": 1,
+            "dropped": self.dropped,
+            "samples": [dict(s) for s in self.samples],
+        }
+
+
+def counter_totals(samples: "list[Mapping[str, Any]]") -> dict[str, float]:
+    """Sum every counter delta across ``samples`` (per flattened key).
+
+    The inverse check of delta encoding: totals over a full timeline
+    equal the registry's end-of-run counter values for every series
+    that existed at the first sample's baseline.
+    """
+    totals: dict[str, float] = {}
+    for entry in samples:
+        for key, delta in entry.get("counters", {}).items():
+            totals[key] = totals.get(key, 0) + delta
+    return totals
+
+
+def gauge_track(
+    samples: "list[Mapping[str, Any]]", key: str
+) -> list[tuple[float, float]]:
+    """The ``(tick, value)`` trajectory of one gauge series.
+
+    Delta encoding only stores changes; this re-materializes the
+    step function at every tick where the gauge moved.
+    """
+    track: list[tuple[float, float]] = []
+    for entry in samples:
+        gauges = entry.get("gauges", {})
+        if key in gauges:
+            track.append((entry["tick"], gauges[key]))
+    return track
+
+
+#: The installed timeline, consulted by the per-batch/per-tick sampling
+#: sites; ``None`` (the default) compiles each down to a load-and-branch.
+ACTIVE: Timeline | None = None
+
+
+def install(timeline: Timeline) -> None:
+    """Make ``timeline`` the active sampler for all sampling sites."""
+    global ACTIVE
+    ACTIVE = timeline
+
+
+def clear() -> None:
+    """Deactivate timeline sampling; all sites become no-ops again."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def sampling(timeline: Timeline | None = None) -> Iterator[Timeline]:
+    """Scope a timeline to a ``with`` block, restoring the previous one."""
+    if timeline is None:
+        timeline = Timeline()
+    previous = ACTIVE
+    install(timeline)
+    try:
+        yield timeline
+    finally:
+        if previous is None:
+            clear()
+        else:
+            install(previous)

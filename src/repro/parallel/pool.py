@@ -40,6 +40,12 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from . import engine as _engine
 from .engine import WorkDepthTracker
 
+# The *engine* module stays import-clean of repro.obs (hooks are pushed
+# in via set_obs_hook); the pool backend is a leaf above it and may
+# consult the observability globals directly, like the shard layer does.
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
+
 try:  # pragma: no cover - import always succeeds on CPython >= 3.8/posix
     from concurrent.futures import ProcessPoolExecutor
     from multiprocessing import get_context
@@ -58,9 +64,32 @@ T = TypeVar("T")
 __all__ = [
     "PoolBackend",
     "PoolTask",
+    "WorkerTally",
+    "merge_worker_tallies",
     "attach_consider_task",
     "consider_chunk",
 ]
+
+#: One worker's share of a dispatch: ``(worker, slot_lo, slot_hi, tasks,
+#: work)`` — ``[slot_lo, slot_hi)`` is the contiguous item-index range
+#: the worker's chunk covered.
+WorkerTally = tuple[int, int, int, int, int]
+
+
+def merge_worker_tallies(
+    registry: "_metrics.MetricsRegistry", tallies: "Sequence[WorkerTally]"
+) -> None:
+    """Fold per-worker dispatch tallies into ``engine.pool.*`` series.
+
+    Iterates in worker-id order, so the merge is independent of the
+    order chunks completed (counter adds commute and each worker's
+    slot-range gauges are written exactly once per dispatch).
+    """
+    for worker, lo, hi, tasks, work in sorted(tallies):
+        registry.inc("engine.pool.tasks", tasks, worker=worker)
+        registry.inc("engine.pool.work", work, worker=worker)
+        registry.gauge("engine.pool.slot_lo", lo, worker=worker)
+        registry.gauge("engine.pool.slot_hi", hi, worker=worker)
 
 
 class PoolTask:
@@ -192,6 +221,27 @@ class PoolBackend(WorkDepthTracker):
         super().flat_parfor(items, body)
 
     def _dispatch(self, items: Sequence[T], task: PoolTask) -> None:
+        tracer = _tracing.ACTIVE
+        if tracer is None:
+            self._dispatch_run(items, task)
+            return
+        # Spanning over self: the fold's self.add lands inside, so the
+        # pool.dispatch span's work/depth equal the dispatch's metered
+        # (sum, max) exactly.
+        span = tracer.begin(
+            "pool.dispatch",
+            self,
+            items=len(items),
+            workers=min(self.workers, max(1, len(items))),
+        )
+        try:
+            self._dispatch_run(items, task)
+        except BaseException as exc:
+            tracer.end(span, error=type(exc).__name__)
+            raise
+        tracer.end(span)
+
+    def _dispatch_run(self, items: Sequence[T], task: PoolTask) -> None:
         # Same observable protocol as the simulated flat_parfor: the
         # engine.parfor hooks fire exactly once per parallel loop, and
         # the fold into the enclosing frame is (sum of per-item works,
@@ -203,6 +253,7 @@ class PoolBackend(WorkDepthTracker):
         if obs_hook is not None:
             obs_hook("engine.parfor")
         ctx, cleanup = task.prepare(items)
+        tallies: list[WorkerTally] = []
         try:
             payloads = [task.encode(item) for item in items]
             n_chunks = min(self.workers, len(payloads))
@@ -215,12 +266,15 @@ class PoolBackend(WorkDepthTracker):
             total_work = 0
             max_depth = 0
             chunk_results: list[list[Any]] = []
-            for future in futures:  # deterministic chunk order
+            for worker, future in enumerate(futures):  # deterministic order
                 results, work, depth = future.result()
                 total_work += work
                 if depth > max_depth:
                     max_depth = depth
                 chunk_results.append(results)
+                lo = worker * size
+                hi = min(lo + size, len(payloads))
+                tallies.append((worker, lo, hi, hi - lo, work))
         finally:
             cleanup()
         self.dispatches += 1
@@ -230,6 +284,10 @@ class PoolBackend(WorkDepthTracker):
                 task.apply(items[index], result)
                 index += 1
         self.add(total_work, max_depth)
+        mreg = _metrics.ACTIVE
+        if mreg is not None:
+            mreg.inc("engine.pool.dispatches")
+            merge_worker_tallies(mreg, tallies)
 
 
 # ----------------------------------------------------------------------

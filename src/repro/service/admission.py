@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core import BatchTelemetry
@@ -299,6 +300,15 @@ class AdmissionController:
                 self._engaged_at = now
                 if mreg is not None:
                     mreg.inc("service.backpressure.engaged")
+                rec = _recorder.ACTIVE
+                if rec is not None:
+                    rec.trip(
+                        "backpressure",
+                        shard_lag=signals.shard_lag,
+                        depth=signals.depth,
+                        rounds=signals.rounds,
+                        engaged=self.engaged_count,
+                    )
         else:
             self._healthy_streak += 1
             if self.backpressure and self._healthy_streak >= policy.release_after:
@@ -308,6 +318,12 @@ class AdmissionController:
                     self._engaged_at = None
                 if mreg is not None:
                     mreg.inc("service.backpressure.released")
+                rec = _recorder.ACTIVE
+                if rec is not None:
+                    rec.note(
+                        "backpressure.released",
+                        healthy_streak=self._healthy_streak,
+                    )
         if mreg is not None:
             mreg.gauge("service.backpressure.active", 1 if self.backpressure else 0)
             mreg.gauge("service.shard_lag", signals.shard_lag)

@@ -56,6 +56,8 @@ from typing import Any, Iterable, Mapping, Sequence
 from .. import faults as _faults
 from .admission import Admission, AdmissionController, AdmissionPolicy, LoadSignals
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
+from ..obs import timeline as _timeline
 from ..obs import tracing as _tracing
 from ..core.invariants import plds_invariant_violations, structure_matches_edges
 from ..core.plds import PLDS
@@ -584,6 +586,14 @@ class CoreService:
                 rolled_back = True
                 if mreg is not None:
                     mreg.inc("service.rollbacks")
+                rec = _recorder.ACTIVE
+                if rec is not None:
+                    rec.note(
+                        "service.rollback",
+                        batch=self.batches_applied + 1,
+                        attempt=attempts,
+                        error=type(exc).__name__,
+                    )
                 before = self._adapter.cost
                 if attempts >= self.retry.max_attempts or not isinstance(
                     exc, self.retry.retry_on
@@ -621,6 +631,13 @@ class CoreService:
             if mreg is not None:
                 mreg.inc("service.audits")
             if problems:
+                rec = _recorder.ACTIVE
+                if rec is not None:
+                    rec.trip(
+                        "audit",
+                        batch=self.batches_applied,
+                        problems=len(problems),
+                    )
                 self._degrade(problems)
                 degraded = True
                 if mreg is not None:
@@ -645,6 +662,20 @@ class CoreService:
             read_epoch=published.epoch,
         )
         self.telemetry.append(entry)
+        rec = _recorder.ACTIVE
+        if rec is not None:
+            rec.note(
+                "service.batch",
+                batch=entry.batch_id,
+                work=entry.work,
+                depth=entry.depth,
+                attempts=entry.attempts,
+                rolled_back=entry.rolled_back,
+                degraded=entry.degraded,
+            )
+        tline = _timeline.ACTIVE
+        if tline is not None:
+            tline.sample(self.batches_applied, kind="batch")
         return entry
 
     def _tracker(self):
@@ -865,6 +896,14 @@ class CoreService:
         # the flag visible to wait-free readers *during* the rebuild.
         self.degraded = True
         self.audit_failures.append(tuple(problems))
+        rec = _recorder.ACTIVE
+        if rec is not None:
+            rec.trip(
+                "degrade",
+                rung="quarantine",
+                batch=self.batches_applied,
+                failures=len(self.audit_failures),
+            )
         edges = sorted(self._graph.edges())
         try:
             self._degrade_ladder(edges)
@@ -874,11 +913,14 @@ class CoreService:
             self._publish_epoch()
 
     def _degrade_ladder(self, edges: list[tuple[int, int]]) -> None:
+        rec = _recorder.ACTIVE
         if self._driver is not None:
             self.quarantined = self._driver
             self._restore_engine(edges, None)
             if not self.audit():
                 self.degraded_to = self.algorithm
+                if rec is not None:
+                    rec.trip("degrade", rung="rebuild", engine=self.algorithm)
                 return
         else:
             self.quarantined = self._adapter
@@ -891,6 +933,8 @@ class CoreService:
             if candidate is not None and not self._audit_impl(candidate.impl):
                 self._adapter = candidate
                 self.degraded_to = self.algorithm
+                if rec is not None:
+                    rec.trip("degrade", rung="rebuild", engine=self.algorithm)
                 return
         # Last resort: exact static recompute from the mirror.  Dropping
         # a hosted application here is deliberate — coreness queries keep
@@ -902,6 +946,8 @@ class CoreService:
         self.algorithm = _LAST_RESORT
         self.spec = algorithm_spec(_LAST_RESORT)
         self.degraded_to = _LAST_RESORT
+        if rec is not None:
+            rec.trip("degrade", rung="exactkcore", engine=_LAST_RESORT)
 
     # -- queries ---------------------------------------------------------
 

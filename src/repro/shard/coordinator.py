@@ -45,6 +45,7 @@ from ..faults import InjectedFault
 from ..graphs.dynamic_graph import canonical_edge
 from ..graphs.streams import Batch, validate_vertex_ids
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 from ..obs import tracing as _tracing
 from ..parallel.engine import WorkDepthTracker
 from ..parallel.primitives import log2_ceil
@@ -397,6 +398,9 @@ class Coordinator:
                     kernel.restore_state(state)
                 if mreg is not None:
                     mreg.inc("shard.rollbacks", shard=str(s))
+                rec = _recorder.ACTIVE
+                if rec is not None:
+                    rec.note("shard.rollback", shard=s, attempt=attempts)
                 if attempts >= self.shard_retry_limit:
                     raise
 

@@ -50,10 +50,13 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 from .. import faults as _faults
 from ..bench.chaos import ReadProbePlan, probe_consistent
+from ..obs import metrics as _metrics
+from ..obs import timeline as _timeline
 from ..graphs.streams import Batch
 from ..service import CoreService
 from ..registry import make_workload
@@ -110,6 +113,7 @@ class SoakConfig:
     verify_reads: bool = True
     probe_every: int = 7
     read_latency: float = 1.0
+    sample_every: float = 25.0
     label: str = "soak"
 
     def __post_init__(self) -> None:
@@ -121,6 +125,8 @@ class SoakConfig:
             raise ValueError("probe_every must be >= 1")
         if self.shards is not None and self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables)")
 
 
 class _SoakProbePlan(ReadProbePlan):
@@ -257,6 +263,17 @@ class SoakRunner:
             self.plan: _faults.FaultPlan = _SoakProbePlan(config.probe_every)
         else:
             self.plan = _faults.FaultPlan()
+        # Continuous telemetry: a private registry (unless the caller
+        # already installed one) sampled into a Timeline on a simulated
+        # grid plus every committed batch — the artifact's `timeline`.
+        if config.sample_every > 0:
+            self.registry: _metrics.MetricsRegistry | None = (
+                _metrics.MetricsRegistry()
+            )
+            self.timeline: _timeline.Timeline | None = _timeline.Timeline()
+        else:
+            self.registry = None
+            self.timeline = None
         self.reader = self.svc.reader()
         #: committed-prefix reference maps: ``references[k]`` is the
         #: coreness map after the first ``k`` applied batches.
@@ -284,7 +301,12 @@ class SoakRunner:
     def run(self) -> dict:
         """Execute the soak; returns :meth:`report`'s artifact dict."""
         try:
-            with _faults.active(self.plan):
+            with ExitStack() as stack:
+                if self.timeline is not None:
+                    if _metrics.ACTIVE is None and self.registry is not None:
+                        stack.enter_context(_metrics.collecting(self.registry))
+                    stack.enter_context(_timeline.sampling(self.timeline))
+                stack.enter_context(_faults.active(self.plan))
                 if self.config.verify_reads:
                     assert isinstance(self.plan, ReadProbePlan)
                     self.plan.bind(self.svc)
@@ -313,10 +335,19 @@ class SoakRunner:
             if gap <= config.horizon:
                 heapq.heappush(heap, (gap, seq, i, "arrival"))
                 seq += 1
+        tline = self.timeline
+        next_sample = config.sample_every
         while heap:
             t, _, i, kind = heapq.heappop(heap)
             if t > config.horizon:
                 break
+            if tline is not None:
+                # Sample on the simulated grid *before* serving the
+                # event at t, so each tick captures exactly the state
+                # up to its grid time regardless of arrival spacing.
+                while next_sample <= t:
+                    tline.sample(next_sample, kind="tick")
+                    next_sample += config.sample_every
             self._now = t
             self._events += 1
             state = self.states[i]
@@ -346,6 +377,8 @@ class SoakRunner:
                     else:
                         state.counters["abandoned"] += 1
         self._close_degraded(self._now)
+        if tline is not None:
+            tline.sample(round(self._now, 9), kind="end")
 
     # -- writes ----------------------------------------------------------
 
@@ -550,7 +583,7 @@ class SoakRunner:
             and probe_staleness <= 1
             and total_errors == 0
         )
-        return {
+        artifact = {
             "format": 1,
             "kind": "soak",
             "label": config.label,
@@ -567,6 +600,7 @@ class SoakRunner:
                 "verify_reads": config.verify_reads,
                 "probe_every": config.probe_every,
                 "read_latency": config.read_latency,
+                "sample_every": config.sample_every,
                 "stall": (
                     None if config.stall is None else config.stall.to_json_dict()
                 ),
@@ -607,6 +641,9 @@ class SoakRunner:
             },
             "tenants": tenants,
         }
+        if self.timeline is not None:
+            artifact["timeline"] = self.timeline.to_json_dict()
+        return artifact
 
 
 def _percentile(values: list[float], q: float) -> float | None:

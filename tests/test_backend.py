@@ -19,6 +19,8 @@ from repro.core.plds import PLDS
 from repro.core.plds_flat import PLDSFlat
 from repro.faults import FaultPlan, FaultPoint, InjectedFault
 from repro.obs.metrics import collecting
+from repro.obs.timeline import split_series_key
+from repro.obs.tracing import tracing
 from repro.parallel import pool as poolmod
 from repro.parallel.pool import PoolBackend
 from repro.registry import make_adapter
@@ -162,3 +164,57 @@ class TestBackendSelection:
     def test_pool_backend_rejects_bad_workers(self) -> None:
         with pytest.raises(ValueError, match="workers"):
             PoolBackend(workers=0)
+
+
+class TestPoolWorkerVisibility:
+    """Worker-level telemetry (ISSUE 9): every pool dispatch publishes
+    per-worker ``engine.pool.*{worker=i}`` series and a ``pool.dispatch``
+    span, without perturbing the bit-identical-to-simulated contract."""
+
+    @staticmethod
+    def _walk(spans):
+        for span in spans:
+            yield span
+            yield from TestPoolWorkerVisibility._walk(span.children)
+
+    def test_worker_series_and_dispatch_spans(self) -> None:
+        serial = _run_flat(seed=1234, group_shrink=50)
+        with collecting() as reg, tracing() as tracer:
+            with PoolBackend(workers=2) as pool:
+                parallel = _run_flat(tracker=pool, seed=1234, group_shrink=50)
+                assert pool.dispatches > 0
+                dispatches = pool.dispatches
+        # Telemetry never perturbs the computation.
+        assert parallel.coreness_estimates() == serial.coreness_estimates()
+        assert (parallel.tracker.work, parallel.tracker.depth) == (
+            serial.tracker.work,
+            serial.tracker.depth,
+        )
+        counters, gauges, _ = reg.flat_series()
+        assert counters["engine.pool.dispatches"] == dispatches
+        workers = sorted(
+            dict(split_series_key(key)[1])["worker"]
+            for key in counters
+            if key.startswith("engine.pool.tasks{")
+        )
+        assert workers and workers[0] == "0"
+        for worker in workers:
+            assert counters[f"engine.pool.tasks{{worker={worker}}}"] > 0
+            lo = gauges[f"engine.pool.slot_lo{{worker={worker}}}"]
+            hi = gauges[f"engine.pool.slot_hi{{worker={worker}}}"]
+            assert 0 <= lo < hi
+        assert gauges["engine.pool.slot_lo{worker=0}"] == 0
+        spans = [
+            s for s in self._walk(tracer.finish()) if s.name == "pool.dispatch"
+        ]
+        assert len(spans) == dispatches
+        assert all(
+            s.attrs["items"] > 0 and s.attrs["workers"] >= 1 for s in spans
+        )
+
+    def test_simulated_backend_emits_no_worker_series(self) -> None:
+        with collecting() as reg:
+            _run_flat(seed=1234, group_shrink=50)
+        counters, gauges, _ = reg.flat_series()
+        assert not any(k.startswith("engine.pool.") for k in counters)
+        assert not any(k.startswith("engine.pool.") for k in gauges)

@@ -2,9 +2,14 @@
 
 Covers the reconciliation invariant (span deltas equal metered totals
 with exact integer equality), the zero-overhead-when-off contract, the
-Prometheus / Chrome-trace export formats, and the CLI / harness
+Prometheus / Chrome-trace export formats, the CLI / harness
 integration points (``repro trace``, ``repro metrics``, ``repro bench
---trace``, ``repro chaos --trace``).
+--trace``, ``repro chaos --trace``), and the structure-introspection
+surface those commands report on (PLDS level/group histograms, vertex
+rebuilds, sliding windows, error percentiles).
+
+Timeline / flight-recorder / SLO-gate tests live in ``test_slo.py``
+(marker ``slo``).
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ import pytest
 
 from repro import faults
 from repro.bench.chaos import chaos_workload, run_chaos
+from repro.bench.metrics import error_percentiles, error_stats
 from repro.bench.perfsuite import BenchReport, PerfEntry, run_suite
-from repro.graphs.generators import barabasi_albert
-from repro.graphs.streams import Batch, insertion_batches
+from repro.core.plds import PLDS
+from repro.graphs.generators import barabasi_albert, erdos_renyi
+from repro.graphs.streams import Batch, insertion_batches, sliding_window_batches
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.obs.export import (
@@ -41,6 +48,9 @@ from repro.obs.tracing import (
 )
 from repro.parallel.engine import WorkDepthTracker
 from repro.service import CoreService
+from repro.static_kcore.exact import exact_coreness
+
+from .conftest import assert_no_violations, build_plds
 
 pytestmark = pytest.mark.obs
 
@@ -565,6 +575,46 @@ class TestObsCli:
         data = json.loads(out_path.read_text())
         assert data["format"] == 1
 
+    def test_trace_out_alias(self, capsys, tmp_path):
+        out_path = tmp_path / "alias.trace.json"
+        code, _ = self.run(
+            capsys,
+            "trace",
+            "--vertices", "60",
+            "--batch-size", "40",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_metrics_prometheus_format_spelling(self, capsys, tmp_path):
+        out_path = tmp_path / "metrics.prom"
+        code, _ = self.run(
+            capsys,
+            "metrics",
+            "--vertices", "60",
+            "--format", "prometheus",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        samples = parse_prometheus(out_path.read_text())
+        assert samples[("repro_service_batches_total", ())] > 0
+
+    def test_unwritable_output_exits_2_with_site(self, capsys, tmp_path):
+        from repro.cli import main
+
+        missing_dir = tmp_path / "no" / "such" / "dir"
+        for argv in (
+            ["trace", "--vertices", "40",
+             "--out", str(missing_dir / "t.json")],
+            ["metrics", "--vertices", "40",
+             "--out", str(missing_dir / "m.prom")],
+        ):
+            code = main(argv)
+            err = capsys.readouterr().err
+            assert code == 2
+            assert err.startswith("repro: error:") and ".py:" in err
+
     def test_cli_leaves_hooks_clear(self, capsys, tmp_path):
         self.run(
             capsys, "trace", "--vertices", "60",
@@ -636,6 +686,143 @@ class TestCommittedSamples:
         assert {"service.batch", "plds.update", "plds.rise"} <= names
         complete = [e for e in events if e.get("ph") == "X"]
         assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+
+
+class TestPLDSStats:
+    def test_level_histogram_counts_all_vertices(self):
+        plds = build_plds(erdos_renyi(60, 240, seed=1))
+        hist = plds.level_histogram()
+        assert sum(hist.values()) == plds.num_vertices
+        assert all(0 <= l < plds.num_levels for l in hist)
+
+    def test_group_histogram_consistent_with_levels(self):
+        plds = build_plds(erdos_renyi(60, 240, seed=1))
+        lv = plds.level_histogram()
+        gr = plds.group_histogram()
+        assert sum(gr.values()) == sum(lv.values())
+        regrouped: dict[int, int] = {}
+        for level, c in lv.items():
+            g = plds.group_number(level)
+            regrouped[g] = regrouped.get(g, 0) + c
+        assert regrouped == gr
+
+    def test_stats_snapshot_fields(self):
+        plds = build_plds(erdos_renyi(60, 240, seed=1))
+        s = plds.stats()
+        assert s["num_vertices"] == 60
+        assert s["num_edges"] == 240
+        assert s["work"] > 0
+        assert s["max_level_in_use"] <= s["num_levels"]
+        assert 0 < s["mean_level"] <= s["max_level_in_use"]
+
+    def test_stats_on_empty_structure(self):
+        s = PLDS(n_hint=10).stats()
+        assert s["num_vertices"] == 0
+        assert s["mean_level"] == 0.0
+
+
+class TestVertexUpdateRebuild:
+    def test_rebuild_counter_triggers(self):
+        plds = PLDS(n_hint=40)
+        edges = erdos_renyi(30, 80, seed=2)
+        plds.update(Batch(insertions=edges))
+        # Churn vertices well past n/2 updates: isolated adds + removes.
+        for i in range(5):
+            plds.insert_vertices(range(100 + i * 10, 110 + i * 10))
+        plds.delete_vertices(range(100, 150))
+        assert plds._vertex_updates <= max(plds.n_hint // 2, 8)
+        assert_no_violations(plds)
+        assert set(plds.edges()) == set(edges)
+
+    def test_structure_shrinks_after_mass_vertex_deletion(self):
+        plds = PLDS(n_hint=20)
+        plds.insert_vertices(range(500))  # forces growth rebuilds
+        grown_hint = plds.n_hint
+        assert grown_hint >= 500
+        plds.delete_vertices(range(500))
+        assert plds.n_hint < grown_hint
+        assert plds.num_vertices == 0
+
+    def test_estimates_survive_rebuild(self):
+        edges = erdos_renyi(50, 200, seed=3)
+        plds = PLDS(n_hint=8)
+        plds.update(Batch(insertions=edges))
+        exact = exact_coreness(edges)
+        for v, k in exact.items():
+            if k == 0:
+                continue
+            est = plds.coreness_estimate(v)
+            assert est > 0
+            assert max(est / k, k / est) <= plds.approximation_factor() + 1e-9
+
+
+class TestSlidingWindow:
+    def test_window_size_respected(self):
+        edges = erdos_renyi(80, 300, seed=4)
+        batches = sliding_window_batches(edges, window=100, batch_size=40)
+        live: set = set()
+        for b in batches:
+            live |= set(b.insertions)
+            live -= set(b.deletions)
+            assert len(live) <= 100
+
+    def test_all_edges_eventually_inserted(self):
+        edges = erdos_renyi(80, 300, seed=4)
+        batches = sliding_window_batches(edges, window=100, batch_size=40)
+        inserted = [e for b in batches for e in b.insertions]
+        # cancelled pairs excepted, every edge appears at most once
+        assert len(inserted) == len(set(inserted))
+
+    def test_no_same_batch_insert_delete_conflicts(self):
+        edges = erdos_renyi(80, 300, seed=4)
+        for b in sliding_window_batches(edges, window=10, batch_size=40):
+            assert not set(b.insertions) & set(b.deletions)
+
+    def test_plds_consumes_sliding_window(self):
+        edges = erdos_renyi(80, 300, seed=5)
+        plds = PLDS(n_hint=90)
+        live: set = set()
+        for b in sliding_window_batches(edges, window=120, batch_size=30):
+            plds.update(b)
+            live |= set(b.insertions)
+            live -= set(b.deletions)
+            assert_no_violations(plds)
+        assert set(plds.edges()) == live
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            sliding_window_batches([(0, 1)], window=0, batch_size=1)
+        with pytest.raises(ValueError):
+            sliding_window_batches([(0, 1)], window=5, batch_size=0)
+
+
+class TestErrorPercentiles:
+    def test_monotone_in_percentile(self):
+        est = {i: float(i % 4 + 1) for i in range(100)}
+        exact = {i: 2 for i in range(100)}
+        pct = error_percentiles(est, exact)
+        values = [pct[p] for p in sorted(pct)]
+        assert values == sorted(values)
+
+    def test_p100_equals_max(self):
+        est = {1: 1.0, 2: 8.0}
+        exact = {1: 1, 2: 2}
+        stats = error_stats(est, exact)
+        pct = error_percentiles(est, exact)
+        assert pct[100.0] == stats.maximum == 4.0
+
+    def test_skips_zero_cores(self):
+        pct = error_percentiles({1: 5.0}, {1: 0})
+        assert pct[100.0] == 1.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            error_percentiles({1: 1.0}, {1: 1}, percentiles=(150.0,))
+
+    def test_median_of_uniform_distribution(self):
+        est = {i: 2.0 for i in range(10)}
+        exact = {i: 2 for i in range(10)}
+        assert error_percentiles(est, exact)[50.0] == 1.0
 
 
 class _FakeParser:
