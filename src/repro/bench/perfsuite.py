@@ -107,6 +107,14 @@ class PerfEntry:
     combining depth — so ``t_p`` is directly comparable between the
     sharded and single-structure rows.  Like ``phases`` it is optional:
     pre-existing baseline files load unchanged and the gate skips it.
+
+    ``pool`` carries the pool backend's dispatch accounting
+    (:meth:`repro.parallel.pool.PoolBackend.pool_stats`) when the cell
+    ran with ``--backend pool`` — dispatch count and mean per-dispatch
+    bytes copied through the resident image versus the full-image
+    equivalent.  Optional like the others: simulated cells and old
+    baseline files carry no ``pool`` field, and the regression gate
+    never compares it.
     """
 
     workload: str
@@ -117,6 +125,7 @@ class PerfEntry:
     space: int
     phases: dict | None = None
     t_p: float | None = None
+    pool: dict | None = None
 
 
 @dataclass
@@ -138,7 +147,7 @@ class BenchReport:
         entries = []
         for e in self.entries:
             d = asdict(e)
-            for opt in ("phases", "t_p"):
+            for opt in ("phases", "t_p", "pool"):
                 if d[opt] is None:
                     # Unset optional fields keep the original on-disk schema.
                     del d[opt]
@@ -203,13 +212,15 @@ def _run_workload(
     backend: str = "simulated",
     workers: int = 2,
     profile: bool = False,
-) -> tuple[float, int, int, int, dict | None, list[dict] | None]:
+) -> tuple[float, int, int, int, dict | None, list[dict] | None, dict | None]:
     """Apply one workload end to end.
 
-    Returns ``(wall_s, work, depth, space, phases, hotspots)``;
+    Returns ``(wall_s, work, depth, space, phases, hotspots, pool)``;
     ``phases`` is the span-tree phase attribution when ``trace`` is on,
     ``hotspots`` the cProfile top-:data:`PROFILE_TOP_N` cumulative table
-    when ``profile`` is on (else ``None``).  Tracing and profiling both
+    when ``profile`` is on, ``pool`` the backend's dispatch/bytes-copied
+    accounting when the tracker exposes ``pool_stats`` (else ``None``
+    each).  Tracing and profiling both
     add bookkeeping inside the timed region, so their wall numbers
     should only be compared against baselines recorded the same way.
     ``shards`` parameterizes sharded keys; ``backend``/``workers``
@@ -269,14 +280,25 @@ def _run_workload(
             prof.disable()
         if gc_was_enabled:
             gc.enable()
-        # Pool-backed trackers hold worker processes; release them.
+        # Snapshot dispatch accounting before close() tears the images
+        # down, then release the worker processes.
+        stats_fn = getattr(adapter.tracker, "pool_stats", None)
+        pool_info = stats_fn() if stats_fn is not None else None
         closer = getattr(adapter.tracker, "close", None)
         if closer is not None:
             closer()
     if prof is not None:
         hotspots = _top_hotspots(prof)
     cost = adapter.cost
-    return wall, cost.work, cost.depth, adapter.space_bytes(), phases, hotspots
+    return (
+        wall,
+        cost.work,
+        cost.depth,
+        adapter.space_bytes(),
+        phases,
+        hotspots,
+        pool_info,
+    )
 
 
 def run_suite(
@@ -323,20 +345,22 @@ def run_suite(
         cells: dict[str, tuple] = {}
         for _ in range(repeats):
             for algo in algos:
-                wall, work, depth, space, phases, hotspots = _run_workload(
-                    workload,
-                    algo,
-                    scale,
-                    trace=trace,
-                    shards=shards,
-                    backend=backend,
-                    workers=workers,
-                    profile=profile_sink is not None,
+                wall, work, depth, space, phases, hotspots, pool_info = (
+                    _run_workload(
+                        workload,
+                        algo,
+                        scale,
+                        trace=trace,
+                        shards=shards,
+                        backend=backend,
+                        workers=workers,
+                        profile=profile_sink is not None,
+                    )
                 )
                 best[algo] = min(best[algo], wall)
-                cells[algo] = (work, depth, space, phases, hotspots)
+                cells[algo] = (work, depth, space, phases, hotspots, pool_info)
         for algo in algos:
-            work, depth, space, phases, hotspots = cells[algo]
+            work, depth, space, phases, hotspots, pool_info = cells[algo]
             if profile_sink is not None and hotspots is not None:
                 profile_sink[f"{workload}/{algo}"] = hotspots
             p = T_P_THREADS if algorithm_spec(algo).parallel else 1
@@ -351,6 +375,7 @@ def run_suite(
                     space=space,
                     phases=phases,
                     t_p=round(t_p, 3),
+                    pool=pool_info,
                 )
             )
             if progress is not None:

@@ -415,6 +415,18 @@ def cmd_bench(args) -> int:
     out_path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
     write_bench(out_path, report)
     print(f"wrote {out_path}")
+    pooled = [e for e in entries if e.pool and e.pool.get("dispatches")]
+    if pooled:
+        dispatches = sum(e.pool["dispatches"] for e in pooled)
+        copied = sum(e.pool["bytes_copied"] for e in pooled)
+        full = sum(e.pool["bytes_full_equiv"] for e in pooled)
+        saved = (1.0 - copied / full) * 100.0 if full else 0.0
+        print(
+            f"pool: {dispatches} dispatches, "
+            f"mean {copied / dispatches:.0f} bytes copied/dispatch "
+            f"(full-image equivalent {full / dispatches:.0f}, "
+            f"{saved:.0f}% saved by dirty ranges)"
+        )
     if profile_sink is not None:
         import json as _json
 

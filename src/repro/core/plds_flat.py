@@ -90,6 +90,12 @@ class PLDSFlat(PLDS):
     """
 
     def __init__(self, n_hint: int, **kwargs: Any) -> None:
+        # The Section-5.9 rebuild path re-runs __init__ on a live
+        # instance; release the previous resident image (if any) so its
+        # stale slot numbering can never be flushed again.
+        stale_image = getattr(self, "_pool_image", None)
+        if stale_image is not None:
+            stale_image.close()
         super().__init__(n_hint, **kwargs)
         #: id -> slot.  Slots are dense in [0, _n) and stable between
         #: vertex deletions (which compact by swapping the last slot in).
@@ -104,6 +110,17 @@ class PLDSFlat(PLDS):
         self._up: list[set[int]] = []
         #: slot -> {lower level -> set of neighbor slots there}.
         self._down: list[dict[int, set[int]]] = []
+        # -- resident-image dirty protocol (repro.parallel.pool) -------
+        #: whether the tracker pool-dispatches (gates dirty noting).
+        self._pool_track = bool(getattr(self.tracker, "pool_tasks", False))
+        #: the ResidentImage shipping this engine's state, if any.
+        self._pool_image: Any = None
+        #: slot numbering changed (vertex insert/compact): full rebuild.
+        self._pool_renumber = True
+        #: edges changed but numbering held: CSR rewrite, level deltas.
+        self._pool_adj_dirty = True
+        #: slots whose level changed since the last flush.
+        self._pool_dirty_slots: list[int] = []
 
     # ------------------------------------------------------------------
     # Slot management
@@ -114,6 +131,7 @@ class PLDSFlat(PLDS):
         if i is None:
             i = self._n
             self._n = i + 1
+            self._pool_renumber = True
             self._slot_of[v] = i
             self._vid.append(v)
             self._lv.append(0)
@@ -142,10 +160,58 @@ class PLDSFlat(PLDS):
         """
         return array("i", self._lv).tobytes()
 
+    # ------------------------------------------------------------------
+    # Resident-image encoders (repro.parallel.pool.ResidentImage)
+    # ------------------------------------------------------------------
+
+    def pool_csr(self) -> tuple[array, array]:
+        """CSR-style slot adjacency: ``(offsets, neighbor slots)``.
+
+        Row ``i`` lists slot ``i``'s full neighbor multiset (up-set then
+        down buckets — workers recover the split from levels alone), so
+        the image survives level moves untouched and is rebuilt only
+        when edges or slot numbering change.
+        """
+        n = self._n
+        offsets = array("i", bytes(4 * (n + 1)))
+        nbrs: list[int] = []
+        extend = nbrs.extend
+        ups = self._up
+        downs = self._down
+        for i in range(n):
+            extend(ups[i])
+            for bucket in downs[i].values():
+                extend(bucket)
+            offsets[i + 1] = len(nbrs)
+        return offsets, array("i", nbrs)
+
+    def pool_levels_array(self) -> array:
+        return array("i", self._lv)
+
+    def pool_levels_range(self, lo: int, hi: int) -> array:
+        return array("i", self._lv[lo:hi])
+
+    def _pool_note_ids(self, ids: Any) -> None:
+        """Record that these vertices' levels (may have) changed since
+        the last image flush.  Over-approximation is safe — flushed
+        bytes are read fresh — and the list is capped: a degenerate
+        backlog (e.g. the no-shared-memory fallback never flushing)
+        collapses into a full-image rebuild instead of unbounded
+        growth."""
+        if self._pool_renumber:
+            return
+        dirty = self._pool_dirty_slots
+        slot_of = self._slot_of
+        dirty.extend(slot_of[v] for v in ids)
+        if len(dirty) > 1024 and len(dirty) > 4 * self._n:
+            self._pool_renumber = True
+            del dirty[:]
+
     def _drop_vertex(self, v: int) -> bool:
         i = self._slot_of.pop(v, None)
         if i is None:
             return False
+        self._pool_renumber = True
         last = self._n - 1
         lv = self._lv
         if i != last:
@@ -321,6 +387,7 @@ class PLDSFlat(PLDS):
     # ------------------------------------------------------------------
 
     def _link_slots(self, i: int, j: int) -> None:
+        self._pool_adj_dirty = True
         lv = self._lv
         li = lv[i]
         lj = lv[j]
@@ -346,6 +413,7 @@ class PLDSFlat(PLDS):
         self._deg[j] += 1
 
     def _unlink_slots(self, i: int, j: int) -> None:
+        self._pool_adj_dirty = True
         lv = self._lv
         li = lv[i]
         lj = lv[j]
@@ -515,6 +583,15 @@ class PLDSFlat(PLDS):
             for j in newly_marked:
                 rise_marks_append((lv[j], vid[j]))
 
+        pool_track = self._pool_track
+        if jump and pool_track:
+            # A pool-capable backend ships this desire scan to worker
+            # processes over the resident image; the inline body is the
+            # fallback and the semantics/charge reference.
+            from ..parallel.pool import attach_rise_task
+
+            attach_rise_task(self, rise, moved, rise_marks)
+
         track = self.track_orientation
         touched = self._touched
         mut_depth = self._mut_depth
@@ -552,6 +629,8 @@ class PLDSFlat(PLDS):
                 if __debug__:
                     assert _is_sorted_unique(movers)
                 tracker.flat_parfor(movers, rise)
+                if pool_track:
+                    self._pool_note_ids(movers)
                 if rise_marks:
                     _merge_marks(dirty, rise_marks)
                 if span is not None:
@@ -676,6 +755,11 @@ class PLDSFlat(PLDS):
                     tracer.end(span)
                 continue  # no mover survived the filter at this level
             tracker.add(total_work, mut_depth)
+            if pool_track:
+                # Candidates over-approximate the movers; flushed bytes
+                # are read fresh, so the slack is only a few range
+                # bytes.
+                self._pool_note_ids(candidates)
             if marked_next:
                 bucket = dirty.get(target)
                 if bucket is None:
@@ -690,6 +774,12 @@ class PLDSFlat(PLDS):
 
     def _move_up_to_slot(self, i: int, target: int) -> list[int]:
         """Slot edition of :meth:`PLDS._move_up_to`; identical charges."""
+        self.tracker.add(work=max(1, len(self._up[i])), depth=self._mut_depth)
+        return self._move_up_raw(i, target)
+
+    def _move_up_raw(self, i: int, target: int) -> list[int]:
+        """The move itself, uncharged — the pool backend's rise task
+        folds the charge from its dispatch totals instead."""
         lv = self._lv
         old = lv[i]
         if target <= old:
@@ -697,7 +787,6 @@ class PLDSFlat(PLDS):
         ups = self._up
         downs = self._down
         up_i = ups[i]
-        self.tracker.add(work=max(1, len(up_i)), depth=self._mut_depth)
         track = self.track_orientation
         touched = self._touched
         vid = self._vid
@@ -753,6 +842,17 @@ class PLDSFlat(PLDS):
 
     def _up_desire_slot(self, i: int) -> int:
         """Slot edition of :meth:`PLDS._up_desire_level`; same charges."""
+        target, work = self._up_desire_calc(i)
+        self.tracker.add(work=work, depth=self._levels_depth)
+        return target
+
+    def _up_desire_calc(self, i: int) -> tuple[int, int]:
+        """The desire walk itself, uncharged: ``(target, work)``.
+
+        Shared between the inline charge wrapper above and the pool
+        rise task's conflict re-evaluation, which must reproduce the
+        walk (and its work amount) without double-charging the
+        tracker."""
         lv = self._lv
         old = lv[i]
         up_i = self._up[i]
@@ -771,11 +871,7 @@ class PLDSFlat(PLDS):
                 cnt -= dropped
             if cnt <= bounds[j]:
                 break
-        self.tracker.add(
-            work=max(1, len(up_i) + (j - old)),
-            depth=self._levels_depth,
-        )
-        return j
+        return j, max(1, len(up_i) + (j - old))
 
     # ------------------------------------------------------------------
     # Algorithm 3: RebalanceDeletions (flat)
@@ -907,6 +1003,8 @@ class PLDSFlat(PLDS):
             if __debug__:
                 assert _is_sorted_unique(movers)
             tracker.flat_parfor(movers, descend)
+            if self._pool_track:
+                self._pool_note_ids(movers)
             if mark_buf:
                 _merge_marks(pending, mark_buf)
             if span is not None:

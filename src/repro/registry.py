@@ -304,7 +304,10 @@ def make_adapter(
     execution backend of the PLDS-family engines: ``"simulated"`` (the
     metered sequential simulation) or ``"pool"`` (a
     :class:`~repro.parallel.pool.PoolBackend` fanning pool-capable scans
-    out to ``workers`` processes; only the flat engines dispatch).
+    out to ``workers`` processes over a resident shared-memory image).
+    The flat engines dispatch their consider and jump-rise scans;
+    ``plds-sharded`` additionally dispatches each kernel's post-exchange
+    desire evaluation through per-shard child backends.
     """
     if backend not in ("simulated", "pool"):
         raise ValueError("backend must be 'simulated' or 'pool'")
@@ -404,6 +407,8 @@ def _sharded_factory(n_hint: int, p: Mapping[str, Any]) -> DynamicKCoreAdapter:
             upper_coeff=p["upper_coeff"],
             shards=int(p["shards"]),
             partition=p["partition"],
+            backend=p.get("backend", "simulated"),
+            workers=int(p.get("workers", 2)),
         ),
         False,
     )
